@@ -1,0 +1,57 @@
+"""Ablation — balanced vs middle-row splitting (the paper's Figure 10).
+
+Stage 4 on a skewed chain: with balanced splitting the largest dimension
+halves every round, so fewer iterations reach the maximum partition size
+than with the original MM middle-row rule.  Both must refine to the same
+final score.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core import (
+    CrosspointChain,
+    CUDAlign,
+    run_stage4,
+)
+from repro.sequences.synth import MutationProfile, homologous_pair
+
+from benchmarks.conftest import emit, pipeline_config
+
+
+def test_ablation_balanced_splitting(benchmark):
+    # A gap-heavy pair yields skewed partitions (the regime Figure 10
+    # targets: narrow partitions that keep their disproportion).
+    rng = np.random.default_rng(10)
+    s0, s1 = homologous_pair(
+        3000, rng, profile=MutationProfile(substitution=0.02, insertion=0.01,
+                                           deletion=0.01, indel_mean_len=30))
+    config = pipeline_config(len(s1), sra_rows=0, max_partition_size=12)
+    base = CUDAlign(config).run(s0, s1, visualize=False)
+    chain = CrosspointChain(base.stage2.crosspoints)
+
+    def run_both():
+        balanced = run_stage4(s0, s1, config, chain)
+        middle = run_stage4(
+            s0, s1, dataclasses.replace(config, stage4_balanced=False), chain)
+        return balanced, middle
+
+    balanced, middle = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    lines = [
+        "Ablation — balanced splitting (Figure 10)",
+        "",
+        f"{'mode':<12} {'iterations':>11} {'cells':>12} {'crosspoints':>12}",
+        f"{'balanced':<12} {len(balanced.iterations):>11} "
+        f"{balanced.cells:>12,} {len(balanced.crosspoints):>12,}",
+        f"{'middle-row':<12} {len(middle.iterations):>11} "
+        f"{middle.cells:>12,} {len(middle.crosspoints):>12,}",
+    ]
+    assert CrosspointChain(balanced.crosspoints).end.score == \
+        CrosspointChain(middle.crosspoints).end.score
+    assert len(balanced.iterations) <= len(middle.iterations)
+    lines += ["", "paper (Figure 10): balanced splitting reaches the maximum "
+              "partition size in fewer splitting steps"]
+    emit("ablation_balanced_split", lines)

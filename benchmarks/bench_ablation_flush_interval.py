@@ -1,0 +1,57 @@
+"""Ablation — the flush-interval law (Section IV-B).
+
+Verifies, over a grid of matrix sizes and SRA budgets, that Stage 1's
+saved rows (a) never exceed the byte budget, (b) sit at multiples of the
+block height, and (c) follow the paper's interval law
+``ceil(8mn / (alpha*T*|SRA|))``.  Benchmarks the law itself over the grid.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.constants import SPECIAL_CELL_BYTES
+from repro.storage import flush_interval_blocks, special_row_positions
+
+from benchmarks.conftest import emit
+
+SIZES = [(1 << k, 1 << k) for k in range(10, 17)]
+BUDGET_ROWS = [1, 2, 8, 64]
+BLOCK_ROWS = 256
+
+
+def test_ablation_flush_interval_law(benchmark):
+    def sweep():
+        count = 0
+        for m, n in SIZES:
+            for rows in BUDGET_ROWS:
+                budget = rows * SPECIAL_CELL_BYTES * (n + 1)
+                positions = special_row_positions(m, n, BLOCK_ROWS, budget)
+                count += len(positions)
+        return count
+
+    benchmark.pedantic(sweep, rounds=3, iterations=1)
+    lines = [
+        "Ablation — flush-interval law",
+        "",
+        f"{'m = n':>8} {'budget rows':>12} {'interval':>9} {'saved':>6} "
+        f"{'bytes used':>12} {'budget':>12}",
+    ]
+    for m, n in SIZES:
+        for rows in BUDGET_ROWS:
+            budget = rows * SPECIAL_CELL_BYTES * (n + 1)
+            interval = flush_interval_blocks(m, n, BLOCK_ROWS, budget)
+            positions = special_row_positions(m, n, BLOCK_ROWS, budget)
+            used = len(positions) * SPECIAL_CELL_BYTES * (n + 1)
+            lines.append(f"{m:>8} {rows:>12} {interval:>9} "
+                         f"{len(positions):>6} {used:>12,} {budget:>12,}")
+            assert used <= budget
+            assert all(p % BLOCK_ROWS == 0 for p in positions)
+            want = max(1, math.ceil(
+                SPECIAL_CELL_BYTES * m * n / (BLOCK_ROWS * budget)))
+            assert interval == want
+            # The law is tight: the positions fill most of the budget when
+            # the matrix is tall enough to produce that many candidates.
+            if m // (BLOCK_ROWS * interval) >= rows:
+                assert len(positions) >= max(1, rows - 1)
+    emit("ablation_flush_interval", lines)

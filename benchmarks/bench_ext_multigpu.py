@@ -1,0 +1,81 @@
+"""Extension — multi-GPU projection (the paper's future work, Section VI:
+"extend the tests to even more powerful GPUs, including systems with dual
+cards").
+
+Real sliced execution at small scale (bit-identical scores), and the
+modeled Stage-1 runtimes of the chromosome comparison on 1/2/4 GTX 285
+cards, plus the Stage-4-on-GPU estimate the paper sketches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align import reference
+from repro.align.scoring import PAPER_SCHEME
+from repro.gpusim import (
+    GTX_285,
+    KernelGrid,
+    MultiGpuSystem,
+    multi_gpu_sweep_cost,
+    multi_gpu_sweep_score,
+    stage4_gpu_estimate,
+)
+from repro.gpusim.perf import host_seconds
+from repro.gpusim.device import PENTIUM_DUALCORE
+from repro.sequences.synth import homologous_pair
+
+from benchmarks.conftest import emit
+
+GRID = KernelGrid(240, 64, 4)
+
+
+def test_ext_multigpu(benchmark):
+    rng = np.random.default_rng(21)
+    s0, s1 = homologous_pair(1200, rng)
+    system = MultiGpuSystem(GTX_285, 2)
+    score = benchmark.pedantic(
+        multi_gpu_sweep_score, args=(s0, s1, PAPER_SCHEME, system),
+        kwargs={"band_rows": 64}, rounds=2, iterations=1)
+    assert score == reference.sw_score(s0, s1, PAPER_SCHEME)
+
+    m, n = 32_799_110, 46_944_323
+    lines = [
+        "Extension — multi-GPU Stage 1 projection (33M x 47M, GTX 285)",
+        "",
+        f"{'cards':>6} {'seconds':>10} {'hours':>7} {'speedup':>8} "
+        f"{'efficiency':>11}",
+    ]
+    for cards in (1, 2, 4):
+        cost = multi_gpu_sweep_cost(m, n, GRID, MultiGpuSystem(GTX_285, cards))
+        lines.append(f"{cards:>6} {cost.seconds:>10,.0f} "
+                     f"{cost.seconds / 3600:>7.2f} "
+                     f"{cost.speedup_vs_one:>8.2f} {cost.efficiency:>10.1%}")
+    # Stage 4 on GPU (future work): the chromosome run's Stage-4 work at
+    # SRA=50GB was ~376 s on the host with orthogonal execution.
+    cells4 = int(376 * PENTIUM_DUALCORE.cores
+                 * PENTIUM_DUALCORE.mcups_per_core * 1e6)
+    cpu = host_seconds(cells4, PENTIUM_DUALCORE)
+    gpu = stage4_gpu_estimate(cells4, partitions=12_986, grid=GRID,
+                              device=GTX_285)
+    lines += [
+        "",
+        f"Stage 4 migration estimate (cells from the paper's 376 s run):",
+        f"  host (2 cores): {cpu:,.0f} s    GPU (block per partition): "
+        f"{gpu:,.1f} s    projected gain: {cpu / gpu:,.0f}x",
+    ]
+    assert gpu < cpu
+
+    # "More powerful GPUs" (Section VI): the next-generation projection.
+    from repro.gpusim import GTX_560_TI, sweep_cost
+    newer = sweep_cost(m, n, KernelGrid(144, 128, 4), GTX_560_TI)
+    older = sweep_cost(m, n, GRID, GTX_285)
+    lines += [
+        "",
+        f"next-generation board ({GTX_560_TI.name}):",
+        f"  stage 1: {newer.seconds:,.0f} s at {newer.gcups:.1f} GCUPS "
+        f"(vs {older.seconds:,.0f} s / {older.gcups:.1f} GCUPS on GTX 285, "
+        f"{older.seconds / newer.seconds:.1f}x)",
+    ]
+    assert newer.seconds < older.seconds
+    emit("ext_multigpu", lines)

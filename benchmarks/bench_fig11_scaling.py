@@ -1,0 +1,65 @@
+"""Figure 11 — runtime vs matrix size (log-log), ~constant GCUPS.
+
+Two series:
+
+* **measured** — real wall time of the scaled runs across the catalog;
+  the implied MCUPS must plateau (rate roughly constant once sweeps are
+  large enough to amortize per-row overhead), i.e. runtime grows linearly
+  in cells — the figure's straight line;
+* **modeled** — the GTX 285 model at the paper's sizes, which must show
+  the paper's ~23 GCUPS plateau above 3 MBP.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.gpusim import GTX_285, KernelGrid, sweep_cost
+from repro.sequences import CATALOG
+
+from benchmarks.conftest import emit, run_entry
+
+
+def test_fig11_scaling(benchmark, scale):
+    results = {}
+
+    def run_all():
+        for entry in CATALOG:
+            results[entry.key] = run_entry(entry, scale)
+        return len(results)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    grid = KernelGrid(240, 64, 4)
+    lines = [
+        f"Figure 11 analogue — runtime x matrix size (scale 1/{scale})",
+        "",
+        f"{'comparison':<16} {'cells':>10} {'wall s':>9} {'MCUPS':>8} "
+        f"{'model s':>10} {'model GCUPS':>12}",
+    ]
+    measured = []
+    for entry in CATALOG:
+        _, _, _, result = results[entry.key]
+        cells = result.matrix_cells
+        # Stage 1 is the figure's dominant term; stages 2-6 depend on the
+        # alignment's length, not the matrix size.
+        wall = result.stage1.wall_seconds
+        mcups = cells / wall / 1e6
+        model = sweep_cost(entry.paper_size0, entry.paper_size1, grid,
+                           GTX_285)
+        measured.append((cells, wall, mcups))
+        lines.append(f"{entry.key:<16} {cells:>10.2e} {wall:>9.3f} "
+                     f"{mcups:>8.1f} {model.seconds:>10,.0f} "
+                     f"{model.gcups:>12.1f}")
+        # The paper's plateau: >= 23 GCUPS for every comparison >= 3 MBP.
+        if entry.paper_size0 >= 3_000_000:
+            assert model.gcups > 23.0
+    # Measured scalability: runtime ~ cells (log-log slope near 1) across
+    # the large entries.
+    big = [(c, t) for c, t, _ in measured if c > 10 * measured[0][0]]
+    if len(big) >= 2:
+        (c1, t1), (c2, t2) = big[0], big[-1]
+        slope = (math.log(t2) - math.log(t1)) / (math.log(c2) - math.log(c1))
+        lines += ["", f"log-log slope (measured, large entries): {slope:.2f} "
+                  "(1.0 = perfectly linear in cells)"]
+        assert 0.6 < slope < 1.4
+    emit("fig11_scaling", lines)

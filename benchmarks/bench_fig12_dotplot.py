@@ -1,0 +1,48 @@
+"""Figure 12 — the chromosome alignment dotplot.
+
+Runs the flagship comparison, renders the alignment path as both the
+ASCII grid and the SVG polyline, and checks the figure's structure: the
+path is a monotone near-diagonal band that starts after S1's unrelated
+prefix (the paper's plot starts at ~13.8M on the human axis).
+"""
+
+from __future__ import annotations
+
+from repro.sequences import get_entry
+from repro.viz import ascii_dotplot, svg_dotplot
+
+from benchmarks.conftest import OUT_DIR, emit, run_entry
+
+
+def test_fig12_dotplot(benchmark, scale):
+    entry = get_entry("32799Kx46944K")
+    s0, s1, config, result = run_entry(entry, scale)
+    alignment = result.alignment
+
+    plot = benchmark.pedantic(
+        ascii_dotplot, args=(alignment, len(s0), len(s1)),
+        kwargs={"size": 48}, rounds=3, iterations=1)
+    svg = svg_dotplot(alignment, len(s0), len(s1))
+    (OUT_DIR / "fig12_dotplot.svg").write_text(svg)
+
+    rows = plot.splitlines()[1:]
+    starred = [r for r, line in enumerate(rows) if "*" in line]
+    # The path must be present and span most of the S0 axis.
+    assert starred and (starred[-1] - starred[0]) > 0.7 * len(rows)
+    # The unrelated S1 prefix is skipped: the first starred row begins
+    # right of the left margin.
+    first_cols = [line.index("*") for line in rows if "*" in line]
+    assert first_cols[0] > 2, "alignment must start after the S1 prefix"
+    # Monotonicity: the leftmost star column never moves left as we go down.
+    assert all(b >= a - 1 for a, b in zip(first_cols, first_cols[1:]))
+    lines = [
+        f"Figure 12 analogue — alignment dotplot ({entry.key}, "
+        f"scale 1/{scale})",
+        "",
+        plot,
+        "",
+        f"SVG written to {OUT_DIR / 'fig12_dotplot.svg'}",
+        f"alignment: start {alignment.start} end {alignment.end} "
+        f"(paper: start (0, 13,841,680) — S1 prefix skipped)",
+    ]
+    emit("fig12_dotplot", lines)

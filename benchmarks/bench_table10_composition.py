@@ -1,0 +1,61 @@
+"""Table X — numerical details of the chromosome alignment.
+
+The composition census of the flagship comparison's optimal alignment:
+matches / mismatches / gap openings / gap extensions, each with its share
+of columns and score contribution.  The synthetic pair is tuned to the
+paper's statistics (94.4% / 1.5% / 0.2% / 3.9%), so the shares must land
+within a few points, and the census must sum exactly to the score.
+"""
+
+from __future__ import annotations
+
+from repro.sequences import get_entry
+
+from benchmarks.conftest import emit, run_entry
+
+#: (share %, of total columns) from the paper's Table X.
+PAPER_SHARES = {"matches": 94.4, "mismatches": 1.5, "gap_opens": 0.2,
+                "gap_extensions": 3.9}
+
+
+def test_table10_composition(benchmark, scale):
+    entry = get_entry("32799Kx46944K")
+    s0, s1, config, result = benchmark.pedantic(
+        run_entry, args=(entry, scale), rounds=1, iterations=1)
+    comp = result.composition
+    total = comp.length
+    shares = {
+        "matches": 100 * comp.matches / total,
+        "mismatches": 100 * comp.mismatches / total,
+        "gap_opens": 100 * comp.gap_opens / total,
+        "gap_extensions": 100 * comp.gap_extensions / total,
+    }
+    scores = {
+        "matches": comp.matches * config.scheme.match,
+        "mismatches": comp.mismatches * config.scheme.mismatch,
+        "gap_opens": -comp.gap_opens * config.scheme.gap_first,
+        "gap_extensions": -comp.gap_extensions * config.scheme.gap_ext,
+    }
+    lines = [
+        f"Table X analogue — composition of the {entry.key} alignment "
+        f"(scale 1/{scale})",
+        "",
+        f"{'':>16} {'occurrences':>12} {'%':>7} {'paper %':>8} {'score':>10}",
+    ]
+    counts = {"matches": comp.matches, "mismatches": comp.mismatches,
+              "gap_opens": comp.gap_opens,
+              "gap_extensions": comp.gap_extensions}
+    for key in PAPER_SHARES:
+        lines.append(f"{key:>16} {counts[key]:>12,} {shares[key]:>6.1f}% "
+                     f"{PAPER_SHARES[key]:>7.1f}% {scores[key]:>10,}")
+    lines.append(f"{'total':>16} {total:>12,} {'100.0%':>7} {'100.0%':>8} "
+                 f"{comp.score:>10,}")
+    # Census identity: contributions sum exactly to the optimal score.
+    assert sum(scores.values()) == comp.score == result.best_score
+    # Shape: shares near the paper's (synthetic tuning tolerance).
+    assert abs(shares["matches"] - PAPER_SHARES["matches"]) < 4
+    assert abs(shares["mismatches"] - PAPER_SHARES["mismatches"]) < 2
+    assert shares["gap_opens"] < 1.5
+    assert abs(shares["gap_extensions"] - PAPER_SHARES["gap_extensions"]) < 4
+    lines += ["", "paper: 94.4% / 1.5% / 0.2% / 3.9%, score 27,206,434"]
+    emit("table10_composition", lines)

@@ -1,0 +1,86 @@
+"""Table VI — CUDAlign speedups over the Z-align cluster.
+
+Two parts:
+
+* a real small-scale cross-check: the strip-parallel Z-align computation
+  must produce exactly the pipeline's best score (benchmarked);
+* the calibrated models at the paper's sizes: speedups of ~520-700x over
+  one core and ~12-20x over 64 cores, the shape of Table VI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import ZAlignCluster
+from repro.core import CUDAlign
+from repro.gpusim import GTX_285, KernelGrid, sweep_cost
+from repro.sequences.synth import homologous_pair
+
+from benchmarks.conftest import emit, pipeline_config
+
+#: (label, m, n, paper Z-1core s, paper Z-64core s, paper CUDAlign s)
+PAPER_TABLE6 = [
+    ("150K", 162_114, 171_823, 1_118, 22.6, 1.8),
+    ("500K", 542_868, 536_165, 9_761, 176, 13.9),
+    ("1M", 1_044_459, 1_072_950, 32_094, 1_044, 61.6),
+    ("3M", 3_147_090, 3_282_708, 294_000, 8_765, 449),
+    ("5M", 5_227_293, 5_228_663, None, 23_235, 1_321),
+    ("23M", 23_011_544, 24_543_557, None, 400_863, 23_755),
+]
+
+
+def test_table6_real_crosscheck(benchmark):
+    rng = np.random.default_rng(5)
+    s0, s1 = homologous_pair(1600, rng)
+    config = pipeline_config(len(s1), sra_rows=4)
+    pipeline = CUDAlign(config).run(s0, s1, visualize=False)
+    cluster = ZAlignCluster(cores=8, band_rows=200)
+    score, stats = benchmark.pedantic(
+        cluster.align_score, args=(s0, s1, config.scheme),
+        rounds=2, iterations=1)
+    assert score == pipeline.best_score
+    assert stats.wavefront_steps > 1
+    emit("table6_crosscheck", [
+        "Z-align strip-parallel cross-check (real execution)",
+        f"sizes: {len(s0)} x {len(s1)}",
+        f"pipeline score: {pipeline.best_score}  z-align score: {score}",
+        f"tiles: {stats.tiles}  wavefront steps: {stats.wavefront_steps}  "
+        f"bus bytes: {stats.horizontal_bus_bytes + stats.vertical_bus_bytes:,}",
+    ])
+
+
+def test_table6_modeled_speedups(benchmark):
+    grid = KernelGrid(240, 64, 4)
+    one = ZAlignCluster(cores=1)
+    many = ZAlignCluster(cores=64)
+
+    def evaluate():
+        rows = []
+        for label, m, n, p1, p64, pc in PAPER_TABLE6:
+            t1 = one.modeled_seconds(m, n)
+            t64 = many.modeled_seconds(m, n)
+            tc = sweep_cost(m, n, grid, GTX_285).seconds
+            rows.append((label, t1, t64, tc, p1, p64, pc))
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=3, iterations=1)
+    lines = [
+        "Table VI (modeled) — speedups vs Z-align",
+        "",
+        f"{'size':>6} {'model 1c':>11} {'model 64c':>11} {'model GPU':>10} "
+        f"{'speedup 1c':>11} {'speedup 64c':>12} {'paper 1c':>9} {'paper 64c':>10}",
+    ]
+    for label, t1, t64, tc, p1, p64, pc in rows:
+        s1x = t1 / tc
+        s64x = t64 / tc
+        paper_s1 = f"{p1 / pc:.0f}" if p1 else "-"
+        paper_s64 = f"{p64 / pc:.1f}" if p64 else "-"
+        lines.append(
+            f"{label:>6} {t1:>11,.0f} {t64:>11,.0f} {tc:>10,.0f} "
+            f"{s1x:>11.0f} {s64x:>12.1f} {paper_s1:>9} {paper_s64:>10}")
+        # Shape assertions: the paper's bands.
+        assert 400 < s1x < 900, label
+        assert 8 < s64x < 30, label
+    lines += ["", "paper: maximum speedups 702.22 (1 core) and 19.52 (64 cores)"]
+    emit("table6_modeled", lines)

@@ -1,0 +1,81 @@
+"""Table VIII — execution statistics vs SRA size.
+
+The sweep of Table VII, reported as the paper's statistics rows: B_k,
+Cells_k, |L_k|, the largest partition dimensions after Stage 3, and the
+simulated VRAM per stage.  Also verifies the B3 law against the paper's
+own column using the published W_max values.
+"""
+
+from __future__ import annotations
+
+from repro.core import CUDAlign, CrosspointChain
+from repro.gpusim import GTX_285, effective_blocks
+from repro.sequences import get_entry
+
+from benchmarks.conftest import emit, pipeline_config
+
+#: W_max -> B3 from the paper's Table VIII (T3 = 128, GTX 285).
+PAPER_B3 = [(56320, 60), (14336, 30), (6656, 26), (3684, 14), (2624, 10)]
+
+
+def test_table8_statistics(benchmark, scale):
+    entry = get_entry("32799Kx46944K")
+    s0, s1 = entry.build(scale=scale, seed=0)
+    sweeps = {}
+
+    def run_all():
+        for rows in (2, 4, 8, 16, 32):
+            config = pipeline_config(len(s1), sra_rows=rows,
+                                     max_partition_size=16)
+            sweeps[rows] = (config, CUDAlign(config).run(s0, s1,
+                                                         visualize=False))
+        return len(sweeps)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = [
+        f"Table VIII analogue — execution statistics ({entry.key}, "
+        f"scale 1/{scale})",
+        "",
+        f"{'stat':<12}" + "".join(f" {f'SRA={r}r':>12}" for r in sweeps),
+    ]
+
+    def row(name, fn):
+        lines.append(f"{name:<12}" + "".join(
+            f" {fn(cfg, res):>12}" for cfg, res in sweeps.values()))
+
+    row("Cells_1", lambda c, r: f"{r.stage1.cells:.2e}")
+    row("Cells_2", lambda c, r: f"{r.stage2.cells:.2e}")
+    row("Cells_3", lambda c, r: f"{r.stage3.cells:.2e}" if r.stage3 else "-")
+    row("|L_2|", lambda c, r: len(r.stage2.crosspoints))
+    row("|L_3|", lambda c, r: len(r.stage3.crosspoints) if r.stage3 else "-")
+    row("B_3", lambda c, r: r.stage3.effective_blocks if r.stage3 else "-")
+
+    def hmax(c, r):
+        chain = CrosspointChain((r.stage3 or r.stage2).crosspoints)
+        return max(p.height for p in chain.partitions())
+
+    def wmax(c, r):
+        chain = CrosspointChain((r.stage3 or r.stage2).crosspoints)
+        return max(p.width for p in chain.partitions())
+
+    row("H_max", hmax)
+    row("W_max", wmax)
+    row("VRAM_1 KB", lambda c, r: f"{r.stage1.vram_bytes / 1e3:.0f}")
+    row("VRAM_2 KB", lambda c, r: f"{r.stage2.vram_bytes / 1e3:.0f}")
+
+    # Trends of the paper's table: more SRA => more crosspoints, smaller
+    # partitions, fewer Stage-2 cells.
+    runs = list(sweeps.values())
+    l2 = [len(r.stage2.crosspoints) for _, r in runs]
+    assert l2 == sorted(l2), "|L2| must grow with SRA"
+    c2 = [r.stage2.cells for _, r in runs]
+    assert c2[-1] < c2[0], "Cells_2 must fall with SRA"
+    hs = [hmax(c, r) for c, r in runs]
+    assert hs[-1] <= hs[0], "H_max must fall with SRA"
+
+    lines += ["", "B3 law vs the paper's own column:"]
+    for w, b3 in PAPER_B3:
+        got = effective_blocks(60, 128, w, GTX_285)
+        lines.append(f"  W_max={w:>6}: paper B3={b3:>3}  law B3={got:>3}")
+        assert got == b3
+    emit("table8_statistics", lines)

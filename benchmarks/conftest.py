@@ -1,0 +1,56 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section V).  Measured numbers come from real pipeline runs on the scaled
+synthetic catalog; paper-scale columns come from the calibrated device
+model.  Each benchmark writes its rendered table to
+``benchmarks/out/<name>.txt`` (and prints it, visible with ``pytest -s``).
+
+Environment:
+    REPRO_BENCH_SCALE — catalog scale divisor (default 8192; smaller means
+        bigger sequences and longer runs, e.g. 2048 for a deeper pass).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.core import CUDAlign, PipelineConfig, small_config
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def bench_scale() -> int:
+    return int(os.environ.get("REPRO_BENCH_SCALE", "8192"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> int:
+    return bench_scale()
+
+
+def pipeline_config(n: int, *, sra_rows: int = 8, block_rows: int = 64,
+                    max_partition_size: int = 32, **kw) -> PipelineConfig:
+    """The standard scaled-run configuration used across benchmarks."""
+    return small_config(block_rows=block_rows, n=n, sra_rows=sra_rows,
+                        max_partition_size=max_partition_size, **kw)
+
+
+def run_entry(entry, scale: int, **config_kw):
+    """Build a catalog pair and run the full pipeline on it."""
+    s0, s1 = entry.build(scale=scale, seed=0)
+    config = pipeline_config(len(s1), **config_kw)
+    result = CUDAlign(config).run(s0, s1, visualize=False)
+    return s0, s1, config, result
+
+
+def emit(name: str, lines: list[str]) -> str:
+    """Render, persist and print one benchmark's table."""
+    text = "\n".join(lines)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+    return text

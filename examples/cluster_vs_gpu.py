@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""CUDAlign vs the Z-align cluster baseline (the paper's Table VI).
+
+Runs the *real* strip-parallel Z-align computation at small scale (score
+equality is asserted against the pipeline) and then evaluates the
+calibrated models at the paper's sizes, reproducing the speedup table's
+shape: ~650-700x over one CPU core, ~17-20x over a 64-core cluster.
+
+Run:  python examples/cluster_vs_gpu.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import ZAlignCluster
+from repro.core import CUDAlign, small_config
+from repro.gpusim import GTX_285, KernelGrid, sweep_cost
+from repro.sequences import homologous_pair
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Part 1 — real execution at small scale: exactness cross-check.
+    # ------------------------------------------------------------------
+    rng = np.random.default_rng(3)
+    s0, s1 = homologous_pair(2500, rng)
+    config = small_config(block_rows=64, n=len(s1), sra_rows=6)
+    pipeline = CUDAlign(config).run(s0, s1, visualize=False)
+    cluster = ZAlignCluster(cores=8, band_rows=256)
+    z_score, z_stats = cluster.align_score(s0, s1, config.scheme)
+    print(f"small-scale cross-check ({len(s0):,} x {len(s1):,}):")
+    print(f"  pipeline best score : {pipeline.best_score}")
+    print(f"  z-align best score  : {z_score}  "
+          f"({'EQUAL' if z_score == pipeline.best_score else 'MISMATCH'})")
+    print(f"  z-align wavefront   : {z_stats.tiles} tiles, "
+          f"{z_stats.wavefront_steps} steps, "
+          f"{(z_stats.horizontal_bus_bytes + z_stats.vertical_bus_bytes) / 1e3:.0f} KB exchanged")
+
+    # ------------------------------------------------------------------
+    # Part 2 — Table VI at paper scale via the calibrated models.
+    # ------------------------------------------------------------------
+    grid = KernelGrid(240, 64, 4)  # the paper's Stage-1 launch on GTX 285
+    sizes = [
+        ("150K", 162_114, 171_823),
+        ("500K", 542_868, 536_165),
+        ("1M", 1_044_459, 1_072_950),
+        ("3M", 3_147_090, 3_282_708),
+        ("5M", 5_227_293, 5_228_663),
+        ("23M", 23_011_544, 24_543_557),
+    ]
+    one = ZAlignCluster(cores=1)
+    many = ZAlignCluster(cores=64)
+    print("\nTable VI analogue (modeled, paper scale):")
+    print(f"{'size':>6} {'Z 1-core':>12} {'Z 64-core':>12} "
+          f"{'CUDAlign':>10} {'vs 1':>8} {'vs 64':>7}")
+    for label, m, n in sizes:
+        t1 = one.modeled_seconds(m, n)
+        t64 = many.modeled_seconds(m, n)
+        tg = sweep_cost(m, n, grid, GTX_285).seconds
+        print(f"{label:>6} {t1:>12,.0f} {t64:>12,.0f} {tg:>10,.0f} "
+              f"{t1 / tg:>8.0f} {t64 / tg:>7.1f}")
+    print("\n(paper: speedups 521-702 over 1 core, 12.6-19.5 over 64 cores)")
+
+
+if __name__ == "__main__":
+    main()

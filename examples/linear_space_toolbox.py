@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Tour of the alignment toolbox beneath the pipeline.
+
+The six-stage pipeline is built from reusable pieces that are useful on
+their own.  This example exercises each public engine on the same pair of
+sequences and compares what they compute:
+
+* local alignment (Smith-Waterman/Gotoh) — the pipeline's objective;
+* global alignment in linear space (Myers-Miller), with work statistics
+  showing the divide-and-conquer recursion;
+* semi-global (overlap) alignment — anchoring a contig inside a
+  chromosome;
+* the memory math that rules out the quadratic-space approach.
+
+Run:  python examples/linear_space_toolbox.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align import (
+    MMConfig,
+    MMStats,
+    PAPER_SCHEME,
+    local_align,
+    mm_align,
+    semiglobal_align,
+)
+from repro.baselines import quadratic_memory_bytes
+from repro.sequences import MutationProfile, homologous_pair, mutate, random_dna
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    s0, s1 = homologous_pair(
+        3000, rng, profile=MutationProfile(substitution=0.04, insertion=0.01,
+                                           deletion=0.01))
+    print(f"pair: {len(s0):,} x {len(s1):,} bp, ~92% identity\n")
+
+    # --- local (the pipeline's objective) ------------------------------
+    path, score = local_align(s0, s1, PAPER_SCHEME)
+    print(f"local  (SW/Gotoh)    : score {score:>6}  span {path.start} -> "
+          f"{path.end}")
+
+    # --- global in linear space (Myers-Miller) -------------------------
+    stats = MMStats()
+    gpath, gscore = mm_align(s0.codes, s1.codes, PAPER_SCHEME,
+                             config=MMConfig(base_max_cells=4096),
+                             stats=stats)
+    ratio = stats.cells / (len(s0) * len(s1))
+    print(f"global (Myers-Miller): score {gscore:>6}  "
+          f"{stats.splits} splits, {stats.base_cases} base cases, "
+          f"{stats.cells:,} cells = {ratio:.1f}x one full-matrix pass "
+          f"(the classic linear-space time trade)")
+    assert gscore <= score  # global can never beat local
+
+    # --- semi-global: anchor a read inside a chromosome ----------------
+    read = mutate(s0[1200:1500],
+                  MutationProfile(substitution=0.03, insertion=0.005,
+                                  deletion=0.005), rng, name="read")
+    anchored = semiglobal_align(read, s0, PAPER_SCHEME)
+    print(f"semi-global anchor   : read of {len(read)} bp placed at "
+          f"S0[{anchored.start[1]}:{anchored.end[1]}] "
+          f"(true origin 1200:1500), score {anchored.score}")
+
+    # --- why linear space matters --------------------------------------
+    print("\nquadratic-space memory demand (H, E, F resident):")
+    for mbp in (1, 5, 33):
+        m = mbp * 10**6
+        need = quadratic_memory_bytes(m, m)
+        print(f"  {mbp:>3} MBP x {mbp:>3} MBP : {need / 1e12:>12,.1f} TB")
+    print("the pipeline's working set for the same comparisons is O(m+n): "
+          "a few hundred MB.")
+
+
+if __name__ == "__main__":
+    main()

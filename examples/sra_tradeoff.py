@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""The SRA size trade-off (the paper's Table VII experiment, scaled).
+
+Sweeps the Special Rows Area budget for one comparison and shows the
+mechanism behind the paper's findings:
+
+* Stage 1 slows down slightly as more rows are flushed (~1% overhead);
+* Stage 2 speeds up: its processed area shrinks with the flush interval;
+* Stage 4's work collapses once Stages 2-3 bound the partitions tightly;
+* Stages 5-6 are constant — they only depend on max_partition_size.
+
+Run:  python examples/sra_tradeoff.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import CUDAlign, small_config, sra_bytes_for_rows
+from repro.sequences import MutationProfile, homologous_pair
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    s0, s1 = homologous_pair(
+        6000, rng,
+        profile=MutationProfile(substitution=0.03, insertion=0.005,
+                                deletion=0.005))
+    print(f"comparison: {len(s0):,} x {len(s1):,} "
+          f"({len(s0) * len(s1):.2e} cells)\n")
+    print(f"{'SRA rows':>9} {'flush MB':>9} {'cells_2':>12} {'cells_3':>12} "
+          f"{'cells_4':>12} {'|L2|':>6} {'|L3|':>6} {'s4 iters':>9}")
+    for sra_rows in (0, 2, 4, 8, 16, 32):
+        config = small_config(block_rows=64, n=len(s1), sra_rows=sra_rows,
+                              max_partition_size=16)
+        result = CUDAlign(config).run(s0, s1, visualize=False)
+        s2 = result.stage2
+        s3 = result.stage3
+        s4 = result.stage4
+        print(f"{sra_rows:>9} {result.stage1.flushed_bytes / 1e6:>9.3f} "
+              f"{s2.cells:>12,} {(s3.cells if s3 else 0):>12,} "
+              f"{(s4.cells if s4 else 0):>12,} "
+              f"{len(s2.crosspoints):>6} "
+              f"{(len(s3.crosspoints) if s3 else 0):>6} "
+              f"{(len(s4.iterations) if s4 else 0):>9}")
+        assert result.best_score == result.alignment.score(s0, s1, config.scheme)
+    print("\nReading the table: more special rows => Stage 2 processes a"
+          "\nnarrower band per crosspoint (cells_2 falls) and Stages 3-4"
+          "\ninherit smaller partitions (cells_4 collapses) — the paper's"
+          "\nTable VII, at 1/1000 scale.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — reproduction of CUDAlign 2.0 (Sandes & de Melo, IPDPS 2011).
+
+Smith-Waterman alignment of huge sequences in linear space, with the
+paper's six-stage pipeline, a simulated GPU wavefront substrate, and the
+full benchmark harness for every table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import CUDAlign, PAPER_SCHEME, Sequence
+    s0 = Sequence.from_text("ACGT" * 1000, name="query")
+    s1 = Sequence.from_text("ACGA" * 1000, name="target")
+    result = CUDAlign().run(s0, s1)
+    print(result.best_score, result.alignment.end)
+"""
+
+from repro.align import PAPER_SCHEME, Alignment, ScoringScheme
+from repro.sequences import Sequence, read_fasta
+
+__version__ = "2.0.0"
+
+__all__ = [
+    "PAPER_SCHEME", "Alignment", "ScoringScheme",
+    "Sequence", "read_fasta",
+    "CUDAlign", "PipelineConfig",
+]
+
+
+def __getattr__(name):
+    # The pipeline imports the whole stack; keep base imports light by
+    # resolving it lazily.
+    if name in ("CUDAlign", "PipelineConfig"):
+        from repro.core import CUDAlign, PipelineConfig
+        return {"CUDAlign": CUDAlign, "PipelineConfig": PipelineConfig}[name]
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

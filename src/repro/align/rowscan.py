@@ -1,0 +1,267 @@
+"""Linear-space vectorized row sweep (the hot kernel of every stage).
+
+One object, :class:`RowSweeper`, implements the forward Gotoh recurrence
+row by row in O(n) memory with **no Python loop over cells**: per row, the
+F update and the diagonal contribution are element-wise, and the in-row E
+recurrence — the only true serial dependency — is resolved with a running
+``maximum.accumulate`` scan:
+
+    E(i,j) = max_{k<j} ( X(i,k) - G_first - (j-1-k) * G_ext )
+           = max_{k<j} ( X(i,k) + k*G_ext )  -  G_first - (j-1)*G_ext
+
+where ``X`` collects every non-E source of H (diagonal, F, the local-zero
+floor, and the column-0 boundary).  Replacing H by X inside the scan is
+valid because opening a new gap *inside* an existing gap never wins when
+``G_first >= G_ext`` (asserted by :class:`ScoringScheme`).
+
+Every sweep the pipeline performs maps onto this kernel:
+
+* Stage 1 is a local forward sweep (rows = S0).
+* Reverse sweeps (Stages 2 and 4) are forward sweeps over reversed
+  sequences.
+* Column-major ("orthogonal", Sections IV-C/D) sweeps are forward sweeps
+  of the transposed problem, where the roles of E and F swap.
+
+The sweeper exposes exactly the artifacts the stages need: the running
+H/E/F rows, best-score tracking (Stage 1), special-row snapshots of (H, F)
+(the SRA format, Section IV-B), per-row column taps of (H, E) (goal-based
+matching against an orthogonal special line), and a watch value (Stage 2's
+start-point detection).  Callers drive it in strips via :meth:`advance`,
+which is what makes goal-based early termination a *real* saving rather
+than bookkeeping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import NEG_INF, SCORE_DTYPE, TYPE_GAP_S0, TYPE_GAP_S1, TYPE_MATCH
+from repro.errors import ConfigError
+from repro.align.scoring import ScoringScheme
+from repro.sequences.sequence import N_CODE
+
+
+class RowSweeper:
+    """Incremental linear-space forward DP sweep.
+
+    Args:
+        codes0: encoded bases laid along the rows (one row per base).
+        codes1: encoded bases laid along the columns.
+        scheme: affine scoring parameters.
+        local: use the Smith-Waterman zero floor and zero boundaries;
+            otherwise the global (Needleman-Wunsch) boundary is used.
+        start_gap: boundary gap state for global sweeps — TYPE_GAP_S0
+            waives the opening of a horizontal gap continuing through
+            (0, 0), TYPE_GAP_S1 of a vertical one (Section IV-A's
+            "gap opening must not be computed twice").
+        forced: require the path to *begin* with the ``start_gap`` run
+            (H(0,0) is seeded to -inf so only gap-continuing paths are
+            finite).  Reverse sweeps of partitions whose end crosspoint is
+            typed use this to exclude tails that would end in the wrong
+            state; the resulting values are uniformly ``true + G_open``.
+        track_best: maintain the running best score and position (Stage 1).
+        watch_value: if set, :attr:`watch_hit` records the first cell whose
+            H equals this value (Stage 2's start-point detection).
+        tap_columns: column indices whose (H, E) values are recorded after
+            every row (matching against an orthogonal special line).
+        save_rows: absolute row indices whose (H, F) rows are snapshotted
+            (the special rows flushed to the SRA).
+    """
+
+    def __init__(self, codes0: np.ndarray, codes1: np.ndarray,
+                 scheme: ScoringScheme, *, local: bool = False,
+                 start_gap: int = TYPE_MATCH, forced: bool = False,
+                 track_best: bool = False,
+                 watch_value: int | None = None,
+                 tap_columns: np.ndarray | None = None,
+                 save_rows: np.ndarray | None = None) -> None:
+        self.codes0 = np.ascontiguousarray(codes0, dtype=np.uint8)
+        self.codes1 = np.ascontiguousarray(codes1, dtype=np.uint8)
+        if self.codes0.size == 0 or self.codes1.size == 0:
+            raise ConfigError("cannot sweep empty sequences")
+        self.scheme = scheme
+        self.local = bool(local)
+        if start_gap not in (TYPE_MATCH, TYPE_GAP_S0, TYPE_GAP_S1):
+            raise ConfigError(f"invalid start_gap {start_gap!r}")
+        if local and start_gap != TYPE_MATCH:
+            raise ConfigError("local sweeps cannot carry a boundary gap state")
+        if forced and start_gap == TYPE_MATCH:
+            raise ConfigError("forced sweeps need a gap-typed start_gap")
+        self.m = int(self.codes0.size)
+        self.n = int(self.codes1.size)
+        self.i = 0  # rows completed (0 = only the boundary row exists)
+        self.cells = 0
+
+        gext = scheme.gap_ext
+        gfirst = scheme.gap_first
+        n = self.n
+        self._idx = np.arange(n + 1, dtype=SCORE_DTYPE)
+        self._ext_ramp = self._idx * SCORE_DTYPE(gext)
+
+        # Row 0 boundary.
+        self.H = np.empty(n + 1, dtype=SCORE_DTYPE)
+        self.E = np.full(n + 1, NEG_INF, dtype=SCORE_DTYPE)
+        self.F = np.full(n + 1, NEG_INF, dtype=SCORE_DTYPE)
+        if self.local:
+            self.H[:] = 0
+        else:
+            self.H[0] = NEG_INF if forced else 0
+            if start_gap == TYPE_GAP_S0:
+                # E(0,0) seeded: the boundary run extends at G_ext only.
+                self.E[0] = 0
+                self.E[1:] = -self._ext_ramp[1:]
+            elif forced:
+                # Only the seeded F(0,0) is finite; row 0 is unreachable.
+                self.E[1:] = NEG_INF
+            else:
+                self.E[1:] = -(SCORE_DTYPE(gfirst) + self._ext_ramp[:-1])
+            self.H[1:] = self.E[1:]
+            if start_gap == TYPE_GAP_S1:
+                self.F[0] = 0
+        self._col0_F = self.F[0]
+        self._col0_H = self.H[0]
+
+        self.track_best = bool(track_best)
+        self.best = int(self.H.max()) if track_best else 0
+        self.best_pos: tuple[int, int] = (0, int(np.argmax(self.H))) if track_best else (0, 0)
+
+        self.watch_value = watch_value
+        self.watch_hit: tuple[int, int] | None = None
+        if watch_value is not None:
+            hits = np.flatnonzero(self.H == watch_value)
+            if hits.size:
+                self.watch_hit = (0, int(hits[0]))
+
+        self._taps = (np.ascontiguousarray(tap_columns, dtype=np.int64)
+                      if tap_columns is not None and len(tap_columns) else None)
+        if self._taps is not None:
+            if self._taps.min() < 0 or self._taps.max() > n:
+                raise ConfigError("tap columns out of range")
+            self.tap_H = np.empty((self.m + 1, self._taps.size), dtype=SCORE_DTYPE)
+            self.tap_E = np.empty((self.m + 1, self._taps.size), dtype=SCORE_DTYPE)
+            self.tap_H[0] = self.H[self._taps]
+            self.tap_E[0] = self.E[self._taps]
+
+        save = (np.unique(np.asarray(save_rows, dtype=np.int64))
+                if save_rows is not None and len(save_rows) else np.empty(0, np.int64))
+        if save.size and (save.min() < 1 or save.max() > self.m):
+            raise ConfigError("save rows out of range [1, m]")
+        self._save_rows = set(save.tolist())
+        self.saved: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+        # Per-row scratch buffers, allocated once.
+        self._X = np.empty(n + 1, dtype=SCORE_DTYPE)
+        self._T = np.empty(n + 1, dtype=SCORE_DTYPE)
+
+        # Substitution scores as a per-base lookup: row i uses the vector
+        # for codes0[i], so each row costs one fancy-index, not a compare.
+        sub_lut = np.full((5, n), SCORE_DTYPE(scheme.mismatch), dtype=SCORE_DTYPE)
+        for code in range(4):
+            sub_lut[code, self.codes1 == code] = SCORE_DTYPE(scheme.match)
+        sub_lut[N_CODE, :] = SCORE_DTYPE(scheme.mismatch)  # N never matches
+        self._sub_lut = sub_lut
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.i >= self.m
+
+    def advance(self, nrows: int | None = None) -> int:
+        """Process up to ``nrows`` further rows; returns the count processed.
+
+        The per-row body is 8 vectorized O(n) operations; see module
+        docstring for the scan derivation.
+        """
+        if nrows is None:
+            nrows = self.m - self.i
+        nrows = min(nrows, self.m - self.i)
+        if nrows <= 0:
+            return 0
+        scheme = self.scheme
+        gext = SCORE_DTYPE(scheme.gap_ext)
+        gfirst = SCORE_DTYPE(scheme.gap_first)
+        H, E, F = self.H, self.E, self.F
+        ext_ramp = self._ext_ramp
+        local = self.local
+        stop = self.i + nrows
+        while self.i < stop:
+            i = self.i + 1
+            sub = self._sub_lut[self.codes0[i - 1]]
+            # F (vertical) update — purely element-wise, includes column 0.
+            np.maximum(F - gext, H - gfirst, out=F)
+            # X: every non-E source of H.
+            X = self._X
+            np.add(H[:-1], sub, out=X[1:])
+            np.maximum(X[1:], F[1:], out=X[1:])
+            if local:
+                X[0] = 0
+                F[0] = NEG_INF
+                np.maximum(X, 0, out=X)
+            else:
+                X[0] = F[0]
+            # E via the prefix-max scan.
+            T = self._T
+            np.add(X, ext_ramp, out=T)
+            np.maximum.accumulate(T, out=T)
+            E[1:] = T[:-1]
+            E[1:] -= gfirst + ext_ramp[:-1]
+            E[0] = NEG_INF
+            np.maximum(X, E, out=H)
+            self.i = i
+
+            if self.track_best or self.watch_value is not None:
+                row_max = int(H.max())
+                if self.track_best and row_max > self.best:
+                    self.best = row_max
+                    self.best_pos = (i, int(np.argmax(H)))
+                if (self.watch_value is not None and self.watch_hit is None
+                        and row_max >= self.watch_value):
+                    hits = np.flatnonzero(H == self.watch_value)
+                    if hits.size:
+                        self.watch_hit = (i, int(hits[0]))
+            if self._taps is not None:
+                self.tap_H[i] = H[self._taps]
+                self.tap_E[i] = E[self._taps]
+            if i in self._save_rows:
+                self.saved[i] = (H.copy(), F.copy())
+        self.cells += nrows * self.n
+        return nrows
+
+    def run(self) -> "RowSweeper":
+        """Process all remaining rows and return self (convenience)."""
+        self.advance()
+        return self
+
+    # ------------------------------------------------------------------
+    # checkpointing (Stage 1 runs for hours at paper scale; Section V's
+    # 18.5-hour run motivates crash recovery)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the sweep's linear-space state."""
+        return {
+            "i": self.i, "cells": self.cells,
+            "H": self.H.copy(), "E": self.E.copy(), "F": self.F.copy(),
+            "best": self.best, "best_i": self.best_pos[0],
+            "best_j": self.best_pos[1],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Resume from a snapshot taken by :meth:`state_dict`.
+
+        Only valid on a freshly-constructed sweeper over the same
+        sequences, scheme and options; saved-row snapshots taken before
+        the checkpoint are the caller's responsibility (Stage 1 flushes
+        them to the durable SRA as they appear).
+        """
+        i = int(state["i"])
+        if not 0 <= i <= self.m:
+            raise ConfigError(f"checkpoint row {i} outside [0, {self.m}]")
+        for name in ("H", "E", "F"):
+            arr = np.asarray(state[name], dtype=SCORE_DTYPE)
+            if arr.shape != self.H.shape:
+                raise ConfigError("checkpoint row width does not match")
+            getattr(self, name)[:] = arr
+        self.i = i
+        self.cells = int(state["cells"])
+        self.best = int(state["best"])
+        self.best_pos = (int(state["best_i"]), int(state["best_j"]))

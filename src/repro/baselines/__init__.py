@@ -1,0 +1,19 @@
+"""Baselines: the Z-align cluster, the quadratic-space aligner, Table I."""
+
+from repro.baselines.fullmatrix import (
+    BYTES_PER_CELL,
+    FullMatrixResult,
+    full_matrix_align,
+    quadratic_memory_bytes,
+)
+from repro.baselines.related_work import TABLE_I, GpuSWEntry, format_table_i
+from repro.baselines.zalign import ZAlignCluster
+from repro.baselines.dbscan import ScanHit, ScanResult, scan_database
+
+__all__ = [
+    "ScanHit", "ScanResult", "scan_database",
+    "BYTES_PER_CELL", "FullMatrixResult", "full_matrix_align",
+    "quadratic_memory_bytes",
+    "TABLE_I", "GpuSWEntry", "format_table_i",
+    "ZAlignCluster",
+]

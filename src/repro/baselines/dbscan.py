@@ -1,0 +1,125 @@
+"""Database-scan baseline (the CUDASW++ / SW-CUDA work regime of Table I).
+
+Most GPU Smith-Waterman systems before CUDAlign solved a different
+problem: scoring one *query* against millions of short *database*
+subjects (inter-task parallelism), which is why their maximum query sizes
+in Table I are so small.  This module implements that regime with the
+same vectorization idea those systems use on the GPU: all subjects are
+padded into one (batch x width) array and a single row sweep advances
+every subject's DP simultaneously — one thread per subject, here one
+SIMD lane per subject.
+
+The contrast with the pipeline is the point of Table I: a database scan
+cannot produce a 33-MBP alignment, and CUDAlign cannot be beaten by it on
+one huge pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import NEG_INF, SCORE_DTYPE
+from repro.errors import ConfigError
+from repro.align.scoring import ScoringScheme
+from repro.sequences.sequence import N_CODE, Sequence
+
+
+@dataclass(frozen=True)
+class ScanHit:
+    """One database subject's best local score."""
+
+    index: int
+    name: str
+    score: int
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Ranked database-scan outcome."""
+
+    hits: tuple[ScanHit, ...]
+    cells: int
+    wall_seconds: float
+
+    @property
+    def best(self) -> ScanHit:
+        return self.hits[0]
+
+    @property
+    def mcups(self) -> float:
+        return self.cells / max(self.wall_seconds, 1e-12) / 1e6
+
+
+def _pad_batch(subjects: list[Sequence]) -> tuple[np.ndarray, np.ndarray]:
+    """Pack subjects into a (batch, width) code array padded with N.
+
+    N never matches, so padding cells only ever lose score and cannot
+    create spurious hits; each subject's true length masks its columns.
+    """
+    width = max(len(s) for s in subjects)
+    batch = np.full((len(subjects), width), N_CODE, dtype=np.uint8)
+    lengths = np.empty(len(subjects), dtype=np.int64)
+    for k, subject in enumerate(subjects):
+        batch[k, :len(subject)] = subject.codes
+        lengths[k] = len(subject)
+    return batch, lengths
+
+
+def scan_database(query: Sequence, subjects: list[Sequence],
+                  scheme: ScoringScheme, top: int = 10) -> ScanResult:
+    """Score ``query`` against every subject; returns the top hits.
+
+    The DP state is (batch, width)-shaped; each query base advances all
+    subjects at once.  The in-row E recurrence uses the same
+    ``maximum.accumulate`` scan as the pairwise kernel, applied along the
+    width axis of the whole batch.
+    """
+    import time
+    if not subjects:
+        raise ConfigError("the database is empty")
+    if top < 1:
+        raise ConfigError("top must be positive")
+    tick = time.perf_counter()
+    batch, lengths = _pad_batch(subjects)
+    nsub, width = batch.shape
+    gext = SCORE_DTYPE(scheme.gap_ext)
+    gfirst = SCORE_DTYPE(scheme.gap_first)
+    ext_ramp = np.arange(width + 1, dtype=SCORE_DTYPE) * gext
+
+    # Substitution lookup per query base against the whole batch.
+    H = np.zeros((nsub, width + 1), dtype=SCORE_DTYPE)
+    E = np.full((nsub, width + 1), NEG_INF, dtype=SCORE_DTYPE)
+    F = np.full((nsub, width + 1), NEG_INF, dtype=SCORE_DTYPE)
+    best = np.zeros(nsub, dtype=SCORE_DTYPE)
+    X = np.empty((nsub, width + 1), dtype=SCORE_DTYPE)
+    T = np.empty((nsub, width + 1), dtype=SCORE_DTYPE)
+
+    match = SCORE_DTYPE(scheme.match)
+    mismatch = SCORE_DTYPE(scheme.mismatch)
+    for code in query.codes:
+        np.maximum(F - gext, H - gfirst, out=F)
+        if code == N_CODE:
+            sub = np.full((nsub, width), mismatch, dtype=SCORE_DTYPE)
+        else:
+            sub = np.where((batch == code), match, mismatch)
+        np.add(H[:, :-1], sub, out=X[:, 1:])
+        np.maximum(X[:, 1:], F[:, 1:], out=X[:, 1:])
+        X[:, 0] = 0
+        F[:, 0] = NEG_INF
+        np.maximum(X, 0, out=X)
+        np.add(X, ext_ramp, out=T)
+        np.maximum.accumulate(T, axis=1, out=T)
+        E[:, 1:] = T[:, :-1]
+        E[:, 1:] -= gfirst + ext_ramp[:-1]
+        E[:, 0] = NEG_INF
+        np.maximum(X, E, out=H)
+        np.maximum(best, H.max(axis=1), out=best)
+
+    wall = time.perf_counter() - tick
+    order = np.argsort(-best.astype(np.int64), kind="stable")[:top]
+    hits = tuple(ScanHit(int(k), subjects[int(k)].name, int(best[int(k)]))
+                 for k in order)
+    cells = int(len(query) * lengths.sum())
+    return ScanResult(hits=hits, cells=cells, wall_seconds=wall)

@@ -1,0 +1,53 @@
+"""Naive quadratic-space baseline.
+
+The memory wall that motivates the whole paper: retrieving an alignment by
+storing the complete DP matrices needs O(mn) bytes — "to compare two 30
+MBP sequences, we would need at least 3.6 PB" (Section I).  This module
+wraps the exact full-matrix aligner with a memory guard and exposes the
+accounting used by the examples and DESIGN narrative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.align.alignment import Alignment
+from repro.align.full_matrix import local_align
+from repro.align.scoring import ScoringScheme
+from repro.sequences.sequence import Sequence
+
+#: Bytes per DP cell when H, E and F are materialized as int32.
+BYTES_PER_CELL = 12
+
+
+def quadratic_memory_bytes(m: int, n: int) -> int:
+    """Memory demand of the naive approach for an ``m x n`` comparison."""
+    if m <= 0 or n <= 0:
+        raise ConfigError("matrix dimensions must be positive")
+    return (m + 1) * (n + 1) * BYTES_PER_CELL
+
+
+@dataclass(frozen=True)
+class FullMatrixResult:
+    alignment: Alignment
+    score: int
+    memory_bytes: int
+
+
+def full_matrix_align(s0: Sequence, s1: Sequence, scheme: ScoringScheme,
+                      *, memory_limit_bytes: int = 4 * 10**9
+                      ) -> FullMatrixResult:
+    """Exact local alignment with the quadratic-space method.
+
+    Refuses comparisons whose matrices exceed ``memory_limit_bytes`` —
+    which is precisely why CUDAlign 2.0 exists.
+    """
+    need = quadratic_memory_bytes(len(s0), len(s1))
+    if need > memory_limit_bytes:
+        raise MemoryError(
+            f"full-matrix alignment of {len(s0)} x {len(s1)} needs "
+            f"{need / 1e9:.1f} GB (> limit {memory_limit_bytes / 1e9:.1f} GB); "
+            f"use the linear-space pipeline instead")
+    path, score = local_align(s0, s1, scheme)
+    return FullMatrixResult(alignment=path, score=score, memory_bytes=need)

@@ -1,0 +1,50 @@
+"""Related-work context (the paper's Table I).
+
+The GPU Smith-Waterman landscape the paper positions itself against:
+whether each system retrieves the alignment, its maximum query size, its
+reported GCUPS, and the board used.  Exposed as structured data so the
+Table I benchmark can print the table and annotate it with this
+reproduction's own measured rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpuSWEntry:
+    """One row of Table I."""
+
+    name: str
+    reference: str
+    provides_alignment: bool
+    max_query: int
+    gcups: float
+    gpu: str
+
+
+TABLE_I: tuple[GpuSWEntry, ...] = (
+    GpuSWEntry("DASW", "[6]", True, 16_384, 0.2, "7800 GTX"),
+    GpuSWEntry("Weiguo Liu", "[7]", False, 4_095, 0.6, "7800 GTX"),
+    GpuSWEntry("SW-CUDA", "[8]", False, 567, 3.4, "8800 GTX"),
+    GpuSWEntry("CUDASW++ 1.0", "[9]", False, 5_478, 16.1, "GTX 295"),
+    GpuSWEntry("Ligowski", "[10]", False, 1_000, 14.5, "9800 GX2"),
+    GpuSWEntry("CUDASW++ 2.0", "[11]", False, 5_478, 29.7, "GTX 295"),
+    GpuSWEntry("CUDA-SSCA#1", "[12]", True, 1_024, 1.0, "GTX 295"),
+    GpuSWEntry("CUDAlign 1.0", "[13]", False, 32_799_110, 20.3, "GTX 285"),
+)
+
+
+def format_table_i(extra: GpuSWEntry | None = None) -> str:
+    """Render Table I, optionally appending this reproduction's row."""
+    rows = list(TABLE_I)
+    if extra is not None:
+        rows.append(extra)
+    header = f"{'Paper':<16} {'Align':<6} {'Max. Query':>12} {'GCUPS':>7}  GPU"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.name:<16} {'yes' if row.provides_alignment else 'no':<6} "
+            f"{row.max_query:>12,} {row.gcups:>7.1f}  {row.gpu}")
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Z-align cluster baseline (Boukerche et al. [19], the paper's Table VI).
+
+Z-align is the CPU-cluster comparator: an exact pairwise aligner
+distributing the DP matrix over ``P`` processors as column strips with
+wavefront (band-by-band) boundary exchange.  We reproduce it with:
+
+* a **real strip-parallel computation** over :mod:`repro.align.tiled` —
+  numerically identical to Smith-Waterman, structured exactly as the
+  cluster would execute it (the tests assert score equality and count the
+  exchanged boundary traffic);
+* a **calibrated time model** for the paper-scale rows of Table VI.  The
+  single-core rate (~35 MCUPS) is implied by Z-align's own published
+  numbers (3M/1-core = 294,000 s); parallel runs pay a wavefront
+  fill/drain plus a per-step boundary exchange and a measured parallel
+  efficiency (Table VI's 64-core rows imply ~0.55-0.65).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.align.scoring import ScoringScheme
+from repro.align.tiled import TiledSweepResult, tiled_local_sweep
+from repro.sequences.sequence import Sequence
+
+
+@dataclass(frozen=True)
+class ZAlignCluster:
+    """A simulated Z-align deployment.
+
+    ``mcups_per_core`` and ``parallel_efficiency`` are calibrated against
+    Table VI (see EXPERIMENTS.md); ``band_rows`` and ``step_latency_s``
+    shape the wavefront's communication cost.
+    """
+
+    cores: int = 64
+    mcups_per_core: float = 35.1
+    parallel_efficiency: float = 0.60
+    band_rows: int = 2048
+    step_latency_s: float = 0.05
+    serial_startup_cells: float = 1.1e10  # rate ramp of the 1-core rows
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigError("cluster needs at least one core")
+        if not 0 < self.parallel_efficiency <= 1:
+            raise ConfigError("parallel efficiency must be in (0, 1]")
+        if self.mcups_per_core <= 0 or self.band_rows <= 0:
+            raise ConfigError("cluster constants must be positive")
+
+    # ------------------------------------------------------------------
+    # real computation (strip-parallel wavefront)
+    # ------------------------------------------------------------------
+    def align_score(self, s0: Sequence, s1: Sequence,
+                    scheme: ScoringScheme) -> tuple[int, TiledSweepResult]:
+        """Run the strip-decomposed sweep; returns (best score, stats)."""
+        strip_cols = max(1, len(s1) // self.cores)
+        band = min(self.band_rows, len(s0))
+        stats = tiled_local_sweep(s0.codes, s1.codes, scheme,
+                                  band_rows=band, strip_cols=strip_cols)
+        return stats.best, stats
+
+    # ------------------------------------------------------------------
+    # calibrated paper-scale time model
+    # ------------------------------------------------------------------
+    def modeled_seconds(self, m: int, n: int) -> float:
+        """Wall-clock model for an ``m x n`` comparison on this cluster."""
+        if m <= 0 or n <= 0:
+            raise ConfigError("matrix dimensions must be positive")
+        cells = m * n
+        rate = self.mcups_per_core * 1e6
+        if self.cores == 1:
+            # The published 1-core rows show the rate ramping with size.
+            efficiency = cells / (cells + self.serial_startup_cells)
+            return cells / (rate * efficiency)
+        compute = cells / (rate * self.cores * self.parallel_efficiency)
+        steps = m / self.band_rows + self.cores - 1
+        return compute + steps * self.step_latency_s

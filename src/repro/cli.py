@@ -1,0 +1,244 @@
+"""Command-line interface.
+
+``cudalign`` mirrors the original tool's workflow:
+
+* ``cudalign align A.fasta B.fasta`` — run the six-stage pipeline and
+  report the score, positions, per-stage times and statistics;
+* ``cudalign view alignment.bin A.fasta B.fasta`` — Stage 6: reconstruct
+  and render a saved binary alignment;
+* ``cudalign catalog`` — list the synthetic Table-II catalog;
+* ``cudalign synth`` — generate a synthetic pair as FASTA files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.align.scoring import ScoringScheme
+from repro.core.config import PipelineConfig, small_config
+from repro.core.pipeline import CUDAlign
+from repro.sequences.catalog import CATALOG, get_entry
+from repro.sequences.fasta import read_fasta, write_fasta
+from repro.storage.binary_alignment import BinaryAlignment
+from repro.viz.dotplot import svg_dotplot
+from repro.viz.text_render import render_alignment_text
+
+
+def _add_scoring_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--match", type=int, default=1)
+    parser.add_argument("--mismatch", type=int, default=-3)
+    parser.add_argument("--gap-first", type=int, default=5)
+    parser.add_argument("--gap-ext", type=int, default=2)
+
+
+def _scheme(args: argparse.Namespace) -> ScoringScheme:
+    return ScoringScheme(match=args.match, mismatch=args.mismatch,
+                         gap_first=args.gap_first, gap_ext=args.gap_ext)
+
+
+def cmd_align(args: argparse.Namespace) -> int:
+    s0 = read_fasta(args.seq0)
+    s1 = read_fasta(args.seq1)
+    if args.paper_grids:
+        config = PipelineConfig(scheme=_scheme(args), sra_bytes=args.sra_bytes,
+                                max_partition_size=args.max_partition_size,
+                                workers=args.workers,
+                                checkpoint_every_rows=args.checkpoint_every)
+    else:
+        config = small_config(
+            block_rows=args.block_rows, n=len(s1), sra_rows=args.sra_rows,
+            max_partition_size=args.max_partition_size,
+            scheme=_scheme(args), workers=args.workers,
+            checkpoint_every_rows=args.checkpoint_every)
+
+    progress = None
+    if args.progress:
+        last = {"stage": None, "decile": -1}
+
+        def progress(stage: str, fraction: float) -> None:
+            decile = int(fraction * 10)
+            if stage != last["stage"] or decile > last["decile"]:
+                last["stage"], last["decile"] = stage, decile
+                print(f"  [{stage}] {fraction:6.1%}", file=sys.stderr)
+
+    result = CUDAlign(config, workdir=args.workdir, progress=progress).run(s0, s1)
+    out = sys.stdout
+    print(f"comparison: {len(s0):,} x {len(s1):,} "
+          f"({result.matrix_cells:.2e} cells)", file=out)
+    print(f"best score: {result.best_score}", file=out)
+    if result.alignment is None:
+        print("no positive-score alignment exists", file=out)
+        return 0
+    print(f"start: {result.alignment.start}  end: {result.alignment.end}",
+          file=out)
+    print(f"length: {result.alignment_length:,}  "
+          f"gaps: {result.gap_columns:,}", file=out)
+    comp = result.composition
+    print(f"matches: {comp.matches:,}  mismatches: {comp.mismatches:,}  "
+          f"gap opens: {comp.gap_opens:,}  gap exts: {comp.gap_extensions:,}",
+          file=out)
+    print("stage walls (s): " + "  ".join(
+        f"{k}:{v:.3f}" for k, v in result.stage_wall_seconds.items()), file=out)
+    print(f"crosspoints: {result.crosspoint_counts}", file=out)
+    if args.binary_out:
+        with open(args.binary_out, "wb") as handle:
+            handle.write(result.binary.encode())
+        print(f"binary alignment written to {args.binary_out} "
+              f"({result.binary.nbytes} bytes)", file=out)
+    if args.svg_out and result.alignment is not None:
+        with open(args.svg_out, "w") as handle:
+            handle.write(svg_dotplot(result.alignment, len(s0), len(s1)))
+        print(f"dotplot written to {args.svg_out}", file=out)
+    return 0
+
+
+def cmd_view(args: argparse.Namespace) -> int:
+    with open(args.binary, "rb") as handle:
+        binary = BinaryAlignment.decode(handle.read())
+    s0 = read_fasta(args.seq0)
+    s1 = read_fasta(args.seq1)
+    alignment = binary.reconstruct()
+    print(render_alignment_text(alignment, s0, s1, width=args.width))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import ReportOptions, generate_report
+    report = generate_report(ReportOptions(scale=args.scale, seed=args.seed,
+                                           sra_rows=args.sra_rows))
+    print(report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+    return 0
+
+
+def cmd_catalog(args: argparse.Namespace) -> int:
+    print(f"{'key':<16} {'paper sizes':>24} {'scaled':>16} "
+          f"{'paper score':>12}  regime")
+    for entry in CATALOG:
+        m, n = entry.scaled_sizes(args.scale)
+        print(f"{entry.key:<16} "
+              f"{entry.paper_size0:>11,} x{entry.paper_size1:>11,} "
+              f"{m:>7,} x{n:>7,} {entry.paper_score:>12,}  {entry.regime}")
+    return 0
+
+
+def cmd_scan(args: argparse.Namespace) -> int:
+    from repro.baselines.dbscan import scan_database
+    from repro.sequences.fasta import iter_fasta
+    query = read_fasta(args.query)
+    subjects = list(iter_fasta(args.database))
+    result = scan_database(query, subjects, _scheme(args), top=args.top)
+    print(f"query {query.name} ({len(query):,} bp) vs {len(subjects)} "
+          f"subjects ({result.cells:,} cells, {result.mcups:,.0f} MCUPS)")
+    for hit in result.hits:
+        print(f"  {hit.score:>8,}  {hit.name}")
+    return 0
+
+
+def cmd_pack(args: argparse.Namespace) -> int:
+    from repro.sequences.bigseq import pack_fasta
+    length = pack_fasta(args.fasta, args.out, record=args.record)
+    print(f"packed {length:,} bp into {args.out} (open with "
+          f"repro.sequences.open_packed)")
+    return 0
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    entry = get_entry(args.key)
+    s0, s1 = entry.build(scale=args.scale, seed=args.seed)
+    write_fasta(args.out0, s0)
+    write_fasta(args.out1, s1)
+    print(f"wrote {args.out0} ({len(s0):,} bp) and {args.out1} ({len(s1):,} bp)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cudalign",
+        description="CUDAlign 2.0 reproduction: huge-sequence Smith-Waterman "
+                    "alignment in linear space")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_align = sub.add_parser("align", help="run the six-stage pipeline")
+    p_align.add_argument("seq0")
+    p_align.add_argument("seq1")
+    _add_scoring_args(p_align)
+    p_align.add_argument("--block-rows", type=int, default=64,
+                         help="special-row granularity (alpha * T)")
+    p_align.add_argument("--sra-rows", type=int, default=8,
+                         help="SRA budget in special rows")
+    p_align.add_argument("--sra-bytes", type=int, default=50 * 10**9,
+                         help="raw SRA byte budget (with --paper-grids)")
+    p_align.add_argument("--max-partition-size", type=int, default=32)
+    p_align.add_argument("--workers", type=int, default=1)
+    p_align.add_argument("--workdir", default=None,
+                         help="directory for the disk-backed SRA")
+    p_align.add_argument("--checkpoint-every", type=int, default=None,
+                         help="Stage-1 checkpoint interval in rows "
+                              "(needs --workdir; resumes automatically)")
+    p_align.add_argument("--progress", action="store_true",
+                         help="print per-stage progress to stderr")
+    p_align.add_argument("--paper-grids", action="store_true",
+                         help="use the paper's GTX 285 grid constants")
+    p_align.add_argument("--binary-out", default=None)
+    p_align.add_argument("--svg-out", default=None)
+    p_align.set_defaults(func=cmd_align)
+
+    p_view = sub.add_parser("view", help="render a binary alignment (Stage 6)")
+    p_view.add_argument("binary")
+    p_view.add_argument("seq0")
+    p_view.add_argument("seq1")
+    p_view.add_argument("--width", type=int, default=60)
+    p_view.set_defaults(func=cmd_view)
+
+    p_cat = sub.add_parser("catalog", help="list the synthetic Table-II catalog")
+    p_cat.add_argument("--scale", type=int, default=1024)
+    p_cat.set_defaults(func=cmd_catalog)
+
+    p_report = sub.add_parser(
+        "report", help="run the scaled evaluation and print the full report")
+    p_report.add_argument("--scale", type=int, default=8192)
+    p_report.add_argument("--seed", type=int, default=0)
+    p_report.add_argument("--sra-rows", type=int, default=8)
+    p_report.add_argument("--out", default=None,
+                          help="also write the report to this file")
+    p_report.set_defaults(func=cmd_report)
+
+    p_scan = sub.add_parser(
+        "scan", help="score a query against a FASTA database (batch kernel)")
+    p_scan.add_argument("query")
+    p_scan.add_argument("database")
+    p_scan.add_argument("--top", type=int, default=10)
+    _add_scoring_args(p_scan)
+    p_scan.set_defaults(func=cmd_scan)
+
+    p_pack = sub.add_parser(
+        "pack", help="convert FASTA to the memory-mappable packed format")
+    p_pack.add_argument("fasta")
+    p_pack.add_argument("out")
+    p_pack.add_argument("--record", type=int, default=0)
+    p_pack.set_defaults(func=cmd_pack)
+
+    p_synth = sub.add_parser("synth", help="generate a catalog pair as FASTA")
+    p_synth.add_argument("key")
+    p_synth.add_argument("out0")
+    p_synth.add_argument("out1")
+    p_synth.add_argument("--scale", type=int, default=1024)
+    p_synth.add_argument("--seed", type=int, default=0)
+    p_synth.set_defaults(func=cmd_synth)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `cudalign catalog | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Shared numeric constants.
+
+Scores are kept in ``int32`` throughout: the paper's largest comparison
+(33 MBP x 47 MBP with match = +1) tops out below 2**31, and 4-byte cells
+match the paper's special-row format (two 4-byte values per cell,
+Section IV-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: dtype used for every DP score array.
+SCORE_DTYPE = np.int32
+
+#: "Minus infinity" sentinel for the affine-gap matrices.  It is chosen so
+#: that subtracting any realistic gap penalty can never wrap around the
+#: int32 range (|NEG_INF| + 60e6 * 5 << 2**31).
+NEG_INF = np.int32(-(2**30))
+
+#: Bytes stored per special-row/column cell: one H value and one gap-matrix
+#: value (F for rows, E for columns), 4 bytes each — Section IV-B.
+SPECIAL_CELL_BYTES = 8
+
+#: Crosspoint ``type`` values (Section IV-A).
+TYPE_MATCH = 0   # match or mismatch: path crosses the cell diagonally / in H
+TYPE_GAP_S0 = 1  # gap in S0 (horizontal move, E matrix)
+TYPE_GAP_S1 = 2  # gap in S1 (vertical move, F matrix)
+
+
+def swap_gap_type(state: int) -> int:
+    """Transpose a boundary/crosspoint type: gap in S0 <-> gap in S1.
+
+    Used wherever a sub-problem is solved on swapped sequences (balanced
+    splitting, orthogonal column sweeps, multi-GPU slicing).
+    """
+    return state ^ 3 if state != TYPE_MATCH else TYPE_MATCH

@@ -1,0 +1,23 @@
+"""The paper's contribution: the six-stage CUDAlign 2.0 pipeline."""
+
+from repro.core.config import PipelineConfig, small_config, sra_bytes_for_rows
+from repro.core.crosspoints import Crosspoint, CrosspointChain, Partition
+from repro.core.pipeline import CUDAlign, PipelineResult
+from repro.core.stage1 import Stage1Result, run_stage1
+from repro.core.stage2 import Stage2Result, run_stage2
+from repro.core.stage3 import Stage3Result, run_stage3
+from repro.core.stage4 import Stage4Iteration, Stage4Result, run_stage4
+from repro.core.stage5 import Stage5Result, run_stage5
+from repro.core.stage6 import Stage6Result, run_stage6
+
+__all__ = [
+    "PipelineConfig", "small_config", "sra_bytes_for_rows",
+    "Crosspoint", "CrosspointChain", "Partition",
+    "CUDAlign", "PipelineResult",
+    "Stage1Result", "run_stage1",
+    "Stage2Result", "run_stage2",
+    "Stage3Result", "run_stage3",
+    "Stage4Iteration", "Stage4Result", "run_stage4",
+    "Stage5Result", "run_stage5",
+    "Stage6Result", "run_stage6",
+]

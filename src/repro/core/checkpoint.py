@@ -1,0 +1,58 @@
+"""Stage-1 checkpointing.
+
+At paper scale Stage 1 runs for ~18 hours (97% of the pipeline), so crash
+recovery matters.  A checkpoint is the sweep's O(n) linear-space state
+(current H/E/F rows, best cell, row counter) written atomically as an
+``.npz``; special rows flushed before the checkpoint already live in the
+durable SRA, so resuming re-processes at most ``checkpoint_every_rows``
+rows.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.align.rowscan import RowSweeper
+
+#: Format version stamped into every checkpoint.
+CHECKPOINT_VERSION = 1
+
+
+def save_checkpoint(path: str | os.PathLike, sweeper: RowSweeper,
+                    m: int, n: int) -> None:
+    """Atomically persist the sweep state (write + rename)."""
+    state = sweeper.state_dict()
+    tmp = f"{os.fspath(path)}.tmp"
+    np.savez(tmp, version=CHECKPOINT_VERSION, m=m, n=n, **state)
+    # numpy appends .npz to the temp name.
+    os.replace(tmp + ".npz", os.fspath(path))
+
+
+def load_checkpoint(path: str | os.PathLike, m: int, n: int) -> dict | None:
+    """Load a checkpoint if present and consistent with the comparison.
+
+    Returns ``None`` when no checkpoint exists; raises
+    :class:`StorageError` when one exists but belongs to a different
+    comparison or format.
+    """
+    if not os.path.exists(path):
+        return None
+    with np.load(path) as data:
+        if int(data["version"]) != CHECKPOINT_VERSION:
+            raise StorageError(
+                f"checkpoint {path} has unsupported version {int(data['version'])}")
+        if int(data["m"]) != m or int(data["n"]) != n:
+            raise StorageError(
+                f"checkpoint {path} belongs to a {int(data['m'])} x "
+                f"{int(data['n'])} comparison, not {m} x {n}")
+        return {key: data[key] for key in
+                ("i", "cells", "H", "E", "F", "best", "best_i", "best_j")}
+
+
+def clear_checkpoint(path: str | os.PathLike) -> None:
+    """Remove a checkpoint after the stage completes."""
+    if os.path.exists(path):
+        os.remove(path)

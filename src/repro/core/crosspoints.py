@@ -1,0 +1,163 @@
+"""Crosspoints and partitions (Section IV-A).
+
+A *crosspoint* is a coordinate where the optimal alignment crosses a
+special row or column: ``(i, j, score, type)``.  ``score`` is the forward
+value of the optimal path at that cell in the matrix named by ``type``
+(H for type 0, E for a gap in S0, F for a gap in S1) — so the score of
+the sub-alignment between two crosspoints is simply the difference of
+their scores, and a gap run split across a crosspoint pays its opening
+exactly once (in the upstream partition).
+
+Two consecutive crosspoints bound a :class:`Partition`; the chain from the
+start point (score 0) to the end point (score = best) is what Stages 2-4
+refine until every partition fits ``max_partition_size``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.constants import TYPE_GAP_S0, TYPE_GAP_S1, TYPE_MATCH
+from repro.errors import PartitionError
+
+
+@dataclass(frozen=True, order=True)
+class Crosspoint:
+    """One coordinate of the optimal alignment: ``(i, j, score, type)``."""
+
+    i: int
+    j: int
+    score: int
+    type: int = TYPE_MATCH
+
+    def __post_init__(self) -> None:
+        if self.i < 0 or self.j < 0:
+            raise PartitionError("crosspoint coordinates must be non-negative")
+        if self.type not in (TYPE_MATCH, TYPE_GAP_S0, TYPE_GAP_S1):
+            raise PartitionError(f"invalid crosspoint type {self.type!r}")
+
+
+@dataclass(frozen=True)
+class Partition:
+    """The sub-problem between two crosspoints (Section IV-A).
+
+    Covers subsequences ``S0[start.i .. end.i]`` and ``S1[start.j ..
+    end.j]`` (Python slice semantics), aligned globally with the boundary
+    gap states given by the crosspoint types.
+    """
+
+    start: Crosspoint
+    end: Crosspoint
+
+    def __post_init__(self) -> None:
+        if self.end.i < self.start.i or self.end.j < self.start.j:
+            raise PartitionError(
+                f"partition end {self.end} precedes start {self.start}")
+        if (self.end.i, self.end.j) == (self.start.i, self.start.j):
+            raise PartitionError("empty partition (identical crosspoints)")
+
+    @property
+    def height(self) -> int:
+        return self.end.i - self.start.i
+
+    @property
+    def width(self) -> int:
+        return self.end.j - self.start.j
+
+    @property
+    def max_dim(self) -> int:
+        """The paper's partition size measure (balanced splitting halves it)."""
+        return max(self.height, self.width)
+
+    @property
+    def area(self) -> int:
+        return self.height * self.width
+
+    @property
+    def score(self) -> int:
+        """The sub-alignment's score contribution: ``S(C_s, C_e)``."""
+        return self.end.score - self.start.score
+
+    @property
+    def degenerate(self) -> bool:
+        """A pure gap run (one side empty) — alignable in O(length)."""
+        return self.height == 0 or self.width == 0
+
+
+class CrosspointChain:
+    """The ordered list ``L_k`` of crosspoints after stage ``k``.
+
+    Validates the geometric invariants (coordinates monotone, endpoints
+    typed H) and yields the partitions between consecutive crosspoints.
+    """
+
+    def __init__(self, points: Iterable[Crosspoint]):
+        pts = list(points)
+        if len(pts) < 2:
+            raise PartitionError("a chain needs at least start and end points")
+        for a, b in zip(pts, pts[1:]):
+            if b.i < a.i or b.j < a.j:
+                raise PartitionError(f"chain not monotone: {a} -> {b}")
+            if (a.i, a.j) == (b.i, b.j):
+                raise PartitionError(f"duplicate crosspoint at ({a.i}, {a.j})")
+        if pts[0].type != TYPE_MATCH or pts[-1].type != TYPE_MATCH:
+            raise PartitionError("start and end points must be type 0")
+        if pts[0].score != 0:
+            raise PartitionError("the start point must have score 0")
+        self._points = tuple(pts)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[Crosspoint]:
+        return iter(self._points)
+
+    def __getitem__(self, k: int) -> Crosspoint:
+        return self._points[k]
+
+    @property
+    def points(self) -> tuple[Crosspoint, ...]:
+        return self._points
+
+    @property
+    def start(self) -> Crosspoint:
+        return self._points[0]
+
+    @property
+    def end(self) -> Crosspoint:
+        return self._points[-1]
+
+    @property
+    def best_score(self) -> int:
+        return self.end.score
+
+    def partitions(self) -> list[Partition]:
+        """Partitions between consecutive crosspoints."""
+        return [Partition(a, b) for a, b in zip(self._points, self._points[1:])]
+
+    def max_partition_dim(self) -> int:
+        """Largest partition dimension (Table IX's H_max/W_max measure)."""
+        return max(p.max_dim for p in self.partitions())
+
+    def refine(self, partition_index: int,
+               new_points: Iterable[Crosspoint]) -> "CrosspointChain":
+        """Insert crosspoints inside one partition, returning a new chain."""
+        parts = self.partitions()
+        if not 0 <= partition_index < len(parts):
+            raise PartitionError(f"no partition {partition_index}")
+        pts = list(self._points)
+        pts[partition_index + 1:partition_index + 1] = list(new_points)
+        return CrosspointChain(pts)
+
+    @staticmethod
+    def merged(chains: Iterable[Iterable[Crosspoint]]) -> "CrosspointChain":
+        """Concatenate per-partition point runs into one chain."""
+        pts: list[Crosspoint] = []
+        for chain in chains:
+            for point in chain:
+                if pts and (pts[-1].i, pts[-1].j) == (point.i, point.j):
+                    continue
+                pts.append(point)
+        return CrosspointChain(pts)

@@ -1,0 +1,194 @@
+"""The CUDAlign 2.0 pipeline orchestrator (Section IV).
+
+Runs the six stages in order, skipping the ones an input does not need
+(a zero best score ends after Stage 1; Stage 3 is skipped when Stage 2
+saved no special columns; Stage 4 when every partition already fits), and
+enforces the pipeline's global invariants:
+
+* the crosspoint chain is monotone and brackets the best score;
+* every partition rescores exactly to its crosspoint bracket;
+* the final alignment rescores to the Stage-1 best score.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.align.alignment import Alignment, Composition
+from repro.core.config import PipelineConfig
+from repro.core.crosspoints import CrosspointChain
+from repro.core.stage1 import Stage1Result, run_stage1
+from repro.core.stage2 import Stage2Result, run_stage2
+from repro.core.stage3 import Stage3Result, run_stage3
+from repro.core.stage4 import Stage4Result, run_stage4
+from repro.core.stage5 import Stage5Result, run_stage5
+from repro.core.stage6 import Stage6Result, run_stage6
+from repro.sequences.sequence import Sequence
+from repro.storage.binary_alignment import BinaryAlignment
+from repro.storage.sra import SpecialLineStore
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Everything the six stages produced, plus aggregate statistics."""
+
+    s0_name: str
+    s1_name: str
+    m: int
+    n: int
+    best_score: int
+    alignment: Alignment | None
+    binary: BinaryAlignment | None
+    composition: Composition | None
+    stage1: Stage1Result
+    stage2: Stage2Result | None
+    stage3: Stage3Result | None
+    stage4: Stage4Result | None
+    stage5: Stage5Result | None
+    stage6: Stage6Result | None
+    wall_seconds: float
+
+    @property
+    def matrix_cells(self) -> int:
+        """DP matrix size m*n (the x-axis of Figure 11)."""
+        return self.m * self.n
+
+    @property
+    def crosspoint_counts(self) -> dict[str, int]:
+        """|L_k| after each stage (Table VIII)."""
+        counts = {"L1": 1}
+        if self.stage2 is not None:
+            counts["L2"] = len(self.stage2.crosspoints)
+        if self.stage3 is not None:
+            counts["L3"] = len(self.stage3.crosspoints)
+        if self.stage4 is not None:
+            counts["L4"] = len(self.stage4.crosspoints)
+        return counts
+
+    @property
+    def stage_wall_seconds(self) -> dict[str, float]:
+        out = {"1": self.stage1.wall_seconds}
+        for key, stage in (("2", self.stage2), ("3", self.stage3),
+                           ("4", self.stage4), ("5", self.stage5),
+                           ("6", self.stage6)):
+            out[key] = stage.wall_seconds if stage is not None else 0.0
+        return out
+
+    @property
+    def stage_modeled_seconds(self) -> dict[str, float]:
+        """Modeled GTX-285/host seconds per stage (Tables V and VII)."""
+        out = {"1": self.stage1.modeled_seconds}
+        for key, stage in (("2", self.stage2), ("3", self.stage3),
+                           ("4", self.stage4), ("5", self.stage5)):
+            out[key] = stage.modeled_seconds if stage is not None else 0.0
+        out["6"] = self.stage6.wall_seconds if self.stage6 is not None else 0.0
+        return out
+
+    @property
+    def modeled_total_seconds(self) -> float:
+        return sum(self.stage_modeled_seconds.values())
+
+    @property
+    def alignment_length(self) -> int:
+        return len(self.alignment) if self.alignment is not None else 0
+
+    @property
+    def gap_columns(self) -> int:
+        if self.composition is None:
+            return 0
+        return self.composition.gap_opens + self.composition.gap_extensions
+
+
+class CUDAlign:
+    """The public face of the reproduction.
+
+    >>> result = CUDAlign().run(s0, s1)
+    >>> result.best_score, result.alignment.start, result.alignment.end
+
+    Args:
+        config: pipeline configuration (paper defaults if omitted).
+        workdir: directory for the disk-backed SRA; ``None`` keeps special
+            lines in memory (identical semantics, byte budgets included).
+    """
+
+    def __init__(self, config: PipelineConfig | None = None,
+                 workdir: str | os.PathLike | None = None,
+                 progress=None):
+        self.config = config or PipelineConfig()
+        self.workdir = workdir
+        #: Optional ``progress(stage: str, fraction: float)`` callback —
+        #: stage transitions plus per-band Stage-1 updates, so multi-hour
+        #: runs are observable.
+        self.progress = progress
+
+    def run(self, s0: Sequence, s1: Sequence, *, visualize: bool = True
+            ) -> PipelineResult:
+        """Align ``s0`` x ``s1`` end to end."""
+        if not isinstance(s0, Sequence) or not isinstance(s1, Sequence):
+            raise ConfigError("run() expects Sequence inputs")
+        config = self.config
+        tick = time.perf_counter()
+        sra_dir = os.path.join(os.fspath(self.workdir), "sra") \
+            if self.workdir is not None else None
+        sca_dir = os.path.join(os.fspath(self.workdir), "sca") \
+            if self.workdir is not None else None
+        sra = SpecialLineStore(config.sra_bytes, directory=sra_dir)
+        sca = SpecialLineStore(config.sca_bytes, directory=sca_dir)
+
+        checkpoint = None
+        if self.workdir is not None and config.checkpoint_every_rows:
+            checkpoint = os.path.join(os.fspath(self.workdir), "stage1.ckpt")
+
+        def tick_progress(stage: str, fraction: float) -> None:
+            if self.progress is not None:
+                self.progress(stage, fraction)
+
+        stage1 = run_stage1(s0, s1, config, sra,
+                            checkpoint_path=checkpoint,
+                            checkpoint_every_rows=config.checkpoint_every_rows,
+                            progress=self.progress)
+        tick_progress("stage1", 1.0)
+        if stage1.best_score <= 0:
+            # Nothing aligns: the empty alignment is optimal (score 0).
+            return PipelineResult(
+                s0_name=s0.name, s1_name=s1.name, m=len(s0), n=len(s1),
+                best_score=0, alignment=None, binary=None, composition=None,
+                stage1=stage1, stage2=None, stage3=None, stage4=None,
+                stage5=None, stage6=None,
+                wall_seconds=time.perf_counter() - tick)
+
+        stage2 = run_stage2(s0, s1, config, sra, sca, stage1)
+        tick_progress("stage2", 1.0)
+        chain = CrosspointChain(stage2.crosspoints)
+
+        stage3 = None
+        if any(band.column_positions for band in stage2.bands):
+            stage3 = run_stage3(s0, s1, config, sca, stage2)
+            chain = CrosspointChain(stage3.crosspoints)
+            tick_progress("stage3", 1.0)
+
+        stage4 = None
+        limit = config.max_partition_size
+        if any(not p.degenerate and p.max_dim > limit
+               for p in chain.partitions()):
+            stage4 = run_stage4(s0, s1, config, chain)
+            chain = CrosspointChain(stage4.crosspoints)
+            tick_progress("stage4", 1.0)
+
+        stage5 = run_stage5(s0, s1, config, chain)
+        tick_progress("stage5", 1.0)
+        stage6 = run_stage6(s0, s1, config, stage5.binary) if visualize else None
+        if visualize:
+            tick_progress("stage6", 1.0)
+        alignment = stage5.alignment
+        composition = alignment.composition(s0, s1, config.scheme)
+        return PipelineResult(
+            s0_name=s0.name, s1_name=s1.name, m=len(s0), n=len(s1),
+            best_score=stage1.best_score, alignment=alignment,
+            binary=stage5.binary, composition=composition,
+            stage1=stage1, stage2=stage2, stage3=stage3, stage4=stage4,
+            stage5=stage5, stage6=stage6,
+            wall_seconds=time.perf_counter() - tick)

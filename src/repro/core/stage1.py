@@ -1,0 +1,134 @@
+"""Stage 1 — obtain the best score (Section IV-B).
+
+A full forward Smith-Waterman sweep of the DP matrix (the CUDAlign 1.0
+kernel) that additionally flushes *special rows* to the SRA.  Only rows at
+multiples of the block height ``alpha * T`` are candidates (they are what
+the horizontal bus holds), and the flush interval obeys the
+``ceil(8mn / (alpha*T*|SRA|))`` law.
+
+Special rows are flushed *as the sweep passes them* (the paper's
+behaviour: the horizontal bus drains to disk at the flush interval), which
+together with the optional checkpointing makes the multi-hour stage
+restartable: on resume, rows flushed before the crash are already in the
+durable SRA and at most ``checkpoint_every_rows`` rows are re-processed.
+
+Outputs: the best score, its end position, and the saved special rows —
+the list ``L_1 = {*, C_1}`` with the start point still unknown.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.constants import TYPE_MATCH
+from repro.align.rowscan import RowSweeper
+from repro.core.checkpoint import clear_checkpoint, load_checkpoint, save_checkpoint
+from repro.core.config import PipelineConfig
+from repro.core.crosspoints import Crosspoint
+from repro.gpusim.grid import SweepGeometry
+from repro.gpusim.perf import stage1_vram_bytes, sweep_cost
+from repro.sequences.sequence import Sequence
+from repro.storage.sra import SavedLine, SpecialLineStore, special_row_positions
+
+#: SRA namespace of Stage 1's special rows.
+ROWS_NS = "stage1/rows"
+
+
+@dataclass(frozen=True)
+class Stage1Result:
+    """Best score, end point, and execution statistics of Stage 1."""
+
+    best_score: int
+    end_point: Crosspoint
+    special_rows: tuple[int, ...]
+    flush_interval_rows: int
+    cells: int
+    flushed_bytes: int
+    external_diagonals: int
+    vram_bytes: int
+    wall_seconds: float
+    modeled_seconds: float
+    modeled_seconds_no_flush: float
+    resumed_from_row: int = 0
+
+    @property
+    def mcups_wall(self) -> float:
+        """Measured MCUPS of this (CPU-simulated) sweep."""
+        return self.cells / max(self.wall_seconds, 1e-12) / 1e6
+
+    @property
+    def mcups_modeled(self) -> float:
+        """Modeled device MCUPS (the Table IV column)."""
+        return self.cells / self.modeled_seconds / 1e6
+
+
+def run_stage1(s0: Sequence, s1: Sequence, config: PipelineConfig,
+               sra: SpecialLineStore, *,
+               checkpoint_path: str | None = None,
+               checkpoint_every_rows: int | None = None,
+               progress=None) -> Stage1Result:
+    """Sweep the full matrix, track the best cell, flush special rows."""
+    m, n = len(s0), len(s1)
+    grid = config.grid1.shrink_to(n, config.device)
+    rows = special_row_positions(m, n, grid.block_rows, sra.capacity_bytes)
+    interval = rows[0] if rows else 0
+
+    start = time.perf_counter()
+    sweep = RowSweeper(s0.codes, s1.codes, config.scheme, local=True,
+                       track_best=True, save_rows=rows)
+    resumed_from = 0
+    if checkpoint_path is not None:
+        state = load_checkpoint(checkpoint_path, m, n)
+        if state is not None:
+            sweep.load_state(state)
+            resumed_from = sweep.i
+
+    in_sra = set(sra.positions(ROWS_NS))
+    flushed = len(in_sra) * 8 * (n + 1)
+    rows_since_checkpoint = 0
+    # Bands of one block row each: the numeric result is identical, but
+    # the loop boundary is where the simulated horizontal bus hands rows
+    # down — and where flushes and checkpoints happen.
+    while not sweep.done:
+        done = sweep.advance(grid.block_rows)
+        for r in sorted(sweep.saved):
+            if r in in_sra:
+                sweep.saved.pop(r)
+                continue
+            h, f = sweep.saved.pop(r)
+            sra.save(ROWS_NS, SavedLine(axis="row", position=r, lo=0,
+                                        H=h, G=f))
+            in_sra.add(r)
+            flushed += 8 * (n + 1)
+        if checkpoint_path is not None and checkpoint_every_rows:
+            rows_since_checkpoint += done
+            if rows_since_checkpoint >= checkpoint_every_rows and not sweep.done:
+                save_checkpoint(checkpoint_path, sweep, m, n)
+                rows_since_checkpoint = 0
+        if progress is not None:
+            progress("stage1", sweep.i / m)
+    if checkpoint_path is not None:
+        clear_checkpoint(checkpoint_path)
+    wall = time.perf_counter() - start
+
+    geometry = SweepGeometry(m, n, grid)
+    modeled = sweep_cost(m, n, grid, config.device, flushed_bytes=flushed)
+    modeled_plain = sweep_cost(m, n, grid, config.device)
+
+    end_point = Crosspoint(sweep.best_pos[0], sweep.best_pos[1],
+                           sweep.best, TYPE_MATCH)
+    return Stage1Result(
+        best_score=sweep.best,
+        end_point=end_point,
+        special_rows=tuple(sorted(in_sra)),
+        flush_interval_rows=interval,
+        cells=sweep.cells,
+        flushed_bytes=flushed,
+        external_diagonals=geometry.external_diagonals,
+        vram_bytes=stage1_vram_bytes(m, n, grid),
+        wall_seconds=wall,
+        modeled_seconds=modeled.seconds,
+        modeled_seconds_no_flush=modeled_plain.seconds,
+        resumed_from_row=resumed_from,
+    )

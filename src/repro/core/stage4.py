@@ -1,0 +1,158 @@
+"""Stage 4 — Myers-Miller with balanced splitting and orthogonal execution
+(Section IV-E).
+
+The crosspoint chain from Stage 3 still bounds partitions that may be far
+larger than the *maximum partition size*.  Stage 4 iterates: every
+oversized partition is split once per iteration (its crosspoint count can
+double each round) until every partition's largest dimension fits.
+
+* **Balanced splitting** halves the largest dimension — a wide partition
+  is split at its middle *column* (implemented by transposing the
+  sub-problem) — so narrow partitions cannot keep their disproportionate
+  dimension across many iterations (Figure 10).
+* **Orthogonal execution** uses the partition's known score as the
+  matching goal: the reverse half stops at the first goal hit, processing
+  ~50% of its area on average (~25% of the partition, Table IX's
+  Time_1 vs Time_2).
+
+Degenerate partitions (one side empty — a pure gap run) are exempt: Stage
+5 aligns them in O(length) regardless of size.
+
+The per-iteration records (H_max, W_max, crosspoint count, time) are the
+rows of Table IX.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.constants import TYPE_MATCH, swap_gap_type
+from repro.errors import PartitionError
+from repro.align.myers_miller import MMConfig, MMStats, find_midpoint
+from repro.core.config import PipelineConfig
+from repro.core.crosspoints import Crosspoint, CrosspointChain, Partition
+from repro.gpusim.perf import host_seconds
+from repro.sequences.sequence import Sequence
+
+
+@dataclass(frozen=True)
+class Stage4Iteration:
+    """One refinement round — a row of Table IX."""
+
+    index: int
+    h_max: int
+    w_max: int
+    crosspoints: int
+    cells: int
+    wall_seconds: float
+    modeled_seconds: float
+
+
+@dataclass(frozen=True)
+class Stage4Result:
+    crosspoints: tuple[Crosspoint, ...]
+    iterations: tuple[Stage4Iteration, ...]
+    cells: int
+    wall_seconds: float
+    modeled_seconds: float
+
+
+def split_partition(s0: Sequence, s1: Sequence, partition: Partition,
+                    config: PipelineConfig, mm_config: MMConfig,
+                    stats: MMStats) -> Crosspoint:
+    """One balanced, goal-guided Myers-Miller split of a partition."""
+    start, end = partition.start, partition.end
+    h, w = partition.height, partition.width
+    if partition.degenerate:
+        raise PartitionError("degenerate partitions are not split")
+    codes0 = s0.codes[start.i:end.i]
+    codes1 = s1.codes[start.j:end.j]
+    goal = partition.score
+    transpose = (mm_config.balanced and w > h) or h < 2
+    if transpose:
+        r, j, join, top_value = find_midpoint(
+            codes1, codes0, config.scheme,
+            start_gap=swap_gap_type(start.type), end_gap=swap_gap_type(end.type),
+            goal=goal, config=mm_config, stats=stats)
+        return Crosspoint(start.i + j, start.j + r,
+                          start.score + top_value, swap_gap_type(join))
+    r, j, join, top_value = find_midpoint(
+        codes0, codes1, config.scheme, start_gap=start.type,
+        end_gap=end.type, goal=goal, config=mm_config, stats=stats)
+    return Crosspoint(start.i + r, start.j + j, start.score + top_value, join)
+
+
+def _oversized(partition: Partition, limit: int) -> bool:
+    return not partition.degenerate and partition.max_dim > limit
+
+
+def run_stage4(s0: Sequence, s1: Sequence, config: PipelineConfig,
+               chain: CrosspointChain) -> Stage4Result:
+    """Refine the chain until every partition fits max_partition_size."""
+    mm_config = MMConfig(orthogonal=config.stage4_orthogonal,
+                         balanced=config.stage4_balanced,
+                         strip=max(1, config.max_partition_size))
+    limit = config.max_partition_size
+    iterations: list[Stage4Iteration] = []
+    total_cells = 0
+    total_wall = 0.0
+    total_modeled = 0.0
+
+    it = 0
+    while True:
+        partitions = chain.partitions()
+        todo = [(k, p) for k, p in enumerate(partitions) if _oversized(p, limit)]
+        if not todo:
+            break
+        it += 1
+        tick = time.perf_counter()
+        stats = MMStats()
+
+        def split(item):
+            _, p = item
+            local = MMStats()
+            point = split_partition(s0, s1, p, config, mm_config, local)
+            return point, local
+
+        if config.workers > 1:
+            with ThreadPoolExecutor(max_workers=config.workers) as pool:
+                results = list(pool.map(split, todo))
+        else:
+            results = [split(item) for item in todo]
+
+        points: list[Crosspoint] = list(chain.points)
+        # Insert new crosspoints after their partition's start point; walk
+        # in reverse so earlier indices stay valid.
+        for (k, _), (point, local) in sorted(zip(todo, results),
+                                             key=lambda t: -t[0][0]):
+            points.insert(k + 1, point)
+            stats.cells_forward += local.cells_forward
+            stats.cells_reverse += local.cells_reverse
+        new_chain = CrosspointChain(points)
+        wall = time.perf_counter() - tick
+        cells = stats.cells_forward + stats.cells_reverse
+        modeled = host_seconds(cells, config.host, threads=config.workers)
+        parts_before = partitions
+        iterations.append(Stage4Iteration(
+            index=it,
+            h_max=max(p.height for p in parts_before),
+            w_max=max(p.width for p in parts_before),
+            crosspoints=len(chain),
+            cells=cells,
+            wall_seconds=wall,
+            modeled_seconds=modeled,
+        ))
+        total_cells += cells
+        total_wall += wall
+        total_modeled += modeled
+        chain = new_chain
+
+    return Stage4Result(
+        crosspoints=chain.points,
+        iterations=tuple(iterations),
+        cells=total_cells,
+        wall_seconds=total_wall,
+        modeled_seconds=total_modeled,
+    )

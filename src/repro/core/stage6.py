@@ -1,0 +1,52 @@
+"""Stage 6 — visualization (Section IV-G).
+
+Optional reconstruction of the alignment from Stage 5's binary
+representation: the textual rendering (three-row blocks, like the paper's
+142 MB text file) and the dotplot of the alignment path (Figure 12).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.align.alignment import Alignment
+from repro.core.config import PipelineConfig
+from repro.sequences.sequence import Sequence
+from repro.storage.binary_alignment import BinaryAlignment
+from repro.viz.text_render import render_alignment_text
+from repro.viz.dotplot import ascii_dotplot
+
+
+@dataclass(frozen=True)
+class Stage6Result:
+    alignment: Alignment
+    text: str
+    dotplot: str
+    text_bytes: int
+    binary_bytes: int
+    wall_seconds: float
+
+    @property
+    def compression_ratio(self) -> float:
+        """Text size over binary size (the paper reports 279x)."""
+        return self.text_bytes / max(1, self.binary_bytes)
+
+
+def run_stage6(s0: Sequence, s1: Sequence, config: PipelineConfig,
+               binary: BinaryAlignment, *, width: int = 60,
+               plot_size: int = 48) -> Stage6Result:
+    """Reconstruct and render the alignment from its binary form."""
+    tick = time.perf_counter()
+    alignment = binary.reconstruct()
+    text = render_alignment_text(alignment, s0, s1, width=width)
+    plot = ascii_dotplot(alignment, len(s0), len(s1), size=plot_size)
+    wall = time.perf_counter() - tick
+    return Stage6Result(
+        alignment=alignment,
+        text=text,
+        dotplot=plot,
+        text_bytes=len(text.encode()),
+        binary_bytes=binary.nbytes,
+        wall_seconds=wall,
+    )

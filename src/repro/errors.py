@@ -1,0 +1,48 @@
+"""Exception hierarchy for the CUDAlign 2.0 reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SequenceError(ReproError):
+    """Invalid sequence data (bad alphabet, empty sequence, bad FASTA)."""
+
+
+class ScoringError(ReproError):
+    """Invalid scoring parameters (e.g. gap-open smaller than gap-extend)."""
+
+
+class ConfigError(ReproError):
+    """Invalid pipeline or kernel-grid configuration."""
+
+
+class StorageError(ReproError):
+    """Special Rows Area misuse: over-capacity writes, missing rows, bad codec."""
+
+
+class MatchingError(ReproError):
+    """The goal-based matching procedure failed to locate the goal score.
+
+    This indicates either corrupted special rows/columns or an internal
+    inconsistency between the forward and reverse sweeps; it should never
+    happen for well-formed inputs and is always a bug when raised.
+    """
+
+
+class PartitionError(ReproError):
+    """A partition's crosspoints are inconsistent (non-monotone, bad types)."""
+
+
+class DeviceError(ReproError):
+    """Simulated GPU device misuse (VRAM exhausted, bad grid geometry)."""
+
+
+class AlignmentError(ReproError):
+    """An alignment object is internally inconsistent (path/score mismatch)."""

@@ -1,0 +1,37 @@
+"""Simulated CUDA substrate: device specs, grid schedules, performance model."""
+
+from repro.gpusim.device import (
+    GTX_285,
+    GTX_560_TI,
+    PENTIUM_DUALCORE,
+    DeviceSpec,
+    HostSpec,
+)
+from repro.gpusim.grid import KernelGrid, SweepGeometry, effective_blocks
+from repro.gpusim.perf import (
+    SweepCost,
+    grid_rate_gcups,
+    host_seconds,
+    stage1_vram_bytes,
+    stage2_vram_bytes,
+    stage3_vram_bytes,
+    sweep_cost,
+)
+from repro.gpusim.blocksim import BlockSimResult, simulate_stage1
+from repro.gpusim.multigpu import (
+    MultiGpuCost,
+    MultiGpuSystem,
+    multi_gpu_sweep_cost,
+    multi_gpu_sweep_score,
+    stage4_gpu_estimate,
+)
+
+__all__ = [
+    "GTX_285", "GTX_560_TI", "PENTIUM_DUALCORE", "DeviceSpec", "HostSpec",
+    "KernelGrid", "SweepGeometry", "effective_blocks",
+    "SweepCost", "grid_rate_gcups", "host_seconds", "sweep_cost",
+    "stage1_vram_bytes", "stage2_vram_bytes", "stage3_vram_bytes",
+    "MultiGpuCost", "MultiGpuSystem", "multi_gpu_sweep_cost",
+    "multi_gpu_sweep_score", "stage4_gpu_estimate",
+    "BlockSimResult", "simulate_stage1",
+]

@@ -1,0 +1,108 @@
+"""Simulated CUDA device specifications.
+
+The paper's numeric results come from a GeForce GTX 285 (30 SMs, 240
+cores, 1 GB).  We reproduce the *execution model* (grid geometry, diagonal
+scheduling, memory) exactly and the *wall-clock* through a small analytic
+model whose three constants are calibrated against the paper's own
+measurements (see :mod:`repro.gpusim.perf` and EXPERIMENTS.md):
+
+* ``peak_gcups`` — the sustained cell-update rate of a saturated Stage-1
+  wavefront (Table IV converges to ~23.9 GCUPS for megabase sequences);
+* ``diag_overhead_us`` — fixed cost per external diagonal (kernel launch +
+  synchronization), which reproduces the MCUPS ramp of Table IV's small
+  rows;
+* ``flush_s_per_gb`` — cost of writing special rows to disk ("~13 seconds
+  ... for each additional GB stored", Section V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A CUDA-like accelerator for the performance model."""
+
+    name: str
+    multiprocessors: int
+    cores: int
+    clock_mhz: int
+    vram_bytes: int
+    peak_gcups: float
+    diag_overhead_us: float
+    flush_s_per_gb: float
+    #: Resident threads needed to saturate the device; configurations with
+    #: fewer threads are derated linearly (Stage 3's B3 collapse).  The
+    #: paper's Stage-2 grid (B2=60, T2=128 = 7680 threads) already reaches
+    #: ~24 GCUPS on the GTX 285 (Table VII/VIII: 3.83e13 cells in 1721 s
+    #: at SRA=10GB), which pins this constant.
+    saturation_threads: int
+    #: Reading special rows back from disk (Stage 2 loads one full row per
+    #: band); slightly cheaper than the write path's 13 s/GB.
+    read_s_per_gb: float = 9.0
+    #: Fixed cost of re-anchoring a sweep at a crosspoint (kernel relaunch
+    #: + special-column handling); the constant behind Stage 3's runtime
+    #: floor in Table VII.
+    restart_s: float = 0.0146
+
+    def __post_init__(self) -> None:
+        if min(self.multiprocessors, self.cores, self.clock_mhz) <= 0:
+            raise DeviceError("device geometry must be positive")
+        if self.peak_gcups <= 0 or self.saturation_threads <= 0:
+            raise DeviceError("performance constants must be positive")
+        if self.read_s_per_gb < 0 or self.restart_s < 0:
+            raise DeviceError("I/O constants must be non-negative")
+
+
+#: The paper's board, with constants calibrated against Tables IV/V/VII.
+GTX_285 = DeviceSpec(
+    name="GeForce GTX 285",
+    multiprocessors=30,
+    cores=240,
+    clock_mhz=1476,
+    vram_bytes=1024 * 1024 * 1024,
+    peak_gcups=23.95,
+    diag_overhead_us=320.0,
+    flush_s_per_gb=13.0,
+    saturation_threads=60 * 128,  # B2*T2 already sustains ~24 GCUPS
+)
+
+
+#: A Fermi-generation board for the paper's "more powerful GPUs" future
+#: work.  The constants follow the CUDAlign lineage's own follow-on
+#: measurements (CUDAlign 2.1 reported ~50 GCUPS-class sustained rates on
+#: a GTX 560 Ti); diagonal and flush costs scale with the era's faster
+#: launches and disks.
+GTX_560_TI = DeviceSpec(
+    name="GeForce GTX 560 Ti (projection)",
+    multiprocessors=8,
+    cores=384,
+    clock_mhz=1645,
+    vram_bytes=1024 * 1024 * 1024,
+    peak_gcups=47.0,
+    diag_overhead_us=180.0,
+    flush_s_per_gb=9.0,
+    saturation_threads=384 * 48,
+)
+
+
+#: A host-CPU "device" used to model the CPU stages (4-6) at paper scale.
+#: The paper's host was an Intel Pentium Dual-Core 3 GHz; ~55 MCUPS is the
+#: per-core Gotoh rate implied by Table IX (e.g. iteration 1: ~4.4e10
+#: cells in 250 s with 2 threads).
+@dataclass(frozen=True)
+class HostSpec:
+    name: str
+    cores: int
+    mcups_per_core: float
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.mcups_per_core <= 0:
+            raise DeviceError("host constants must be positive")
+
+
+PENTIUM_DUALCORE = HostSpec(name="Intel Pentium Dual-Core 3GHz", cores=2,
+                            mcups_per_core=55.0)

@@ -1,0 +1,130 @@
+"""Kernel grid geometry: blocks, threads, diagonals, buses (Section III-C).
+
+CUDAlign divides the DP matrix into a grid where each block holds ``T``
+threads and each thread processes ``alpha`` rows, so a *block row* is
+``alpha * T`` matrix rows tall.  ``B`` blocks sweep the columns in
+wavefront order; a diagonal of blocks is an *external diagonal*, a
+diagonal of threads inside a block an *internal diagonal*.  With *cells
+delegation* the wavefront never drains between external diagonals, so the
+device stays saturated except at the very start and end.
+
+The *minimum size requirement* — ``n >= 2 * B * T`` — guarantees blocks of
+one external diagonal never race on the shared buses; when a partition is
+too narrow, ``B`` must shrink (Section IV-D), preferably to a multiple of
+the multiprocessor count.  Table VIII's B3 column (60, 30, 26, 14, 10) is
+exactly :func:`effective_blocks` applied to its W_max column.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import SPECIAL_CELL_BYTES
+from repro.errors import ConfigError
+from repro.gpusim.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class KernelGrid:
+    """Launch geometry of one GPU stage."""
+
+    blocks: int
+    threads: int
+    alpha: int = 4
+
+    def __post_init__(self) -> None:
+        if min(self.blocks, self.threads, self.alpha) <= 0:
+            raise ConfigError("grid dimensions must be positive")
+
+    @property
+    def block_rows(self) -> int:
+        """Matrix rows processed per block row: ``alpha * T``."""
+        return self.alpha * self.threads
+
+    @property
+    def total_threads(self) -> int:
+        return self.blocks * self.threads
+
+    @property
+    def minimum_width(self) -> int:
+        """The minimum size requirement ``2 * B * T`` (Section III-C)."""
+        return 2 * self.blocks * self.threads
+
+    def shrink_to(self, width: int, device: DeviceSpec) -> "KernelGrid":
+        """Reduce B until the minimum size requirement holds for ``width``."""
+        return KernelGrid(effective_blocks(self.blocks, self.threads, width,
+                                           device), self.threads, self.alpha)
+
+
+def effective_blocks(blocks: int, threads: int, width: int,
+                     device: DeviceSpec) -> int:
+    """The runtime block count for a sweep of ``width`` columns.
+
+    ``B_eff = min(B, floor(width / 2T))``, rounded down to a multiple of
+    the multiprocessor count when that leaves at least one full multiple
+    (the paper: "the number of blocks must be preferably a multiple of the
+    number of multiprocessors").
+    """
+    if width <= 0:
+        raise ConfigError("sweep width must be positive")
+    b = min(blocks, width // (2 * threads))
+    if b >= device.multiprocessors:
+        b -= b % device.multiprocessors
+    return max(1, b)
+
+
+@dataclass(frozen=True)
+class SweepGeometry:
+    """Static schedule of one wavefront sweep over an ``m x n`` area."""
+
+    m: int
+    n: int
+    grid: KernelGrid
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.n <= 0:
+            raise ConfigError("sweep area must be positive")
+
+    @property
+    def block_row_count(self) -> int:
+        """Grid height in block rows."""
+        return math.ceil(self.m / self.grid.block_rows)
+
+    @property
+    def blocks_per_row(self) -> int:
+        """Column segments per block row (each block covers ~n/B columns)."""
+        return self.grid.blocks
+
+    @property
+    def external_diagonals(self) -> int:
+        """Number of external diagonals executed.
+
+        All B blocks run concurrently on each external diagonal; with cells
+        delegation the wavefront advances one block row per diagonal once
+        filled, so a sweep costs R + B - 1 diagonals (fill + steady state).
+        This reproduces Table IV's ramp: e.g. the 162K x 172K sweep needs
+        ~873 diagonals whose launch overhead explains the 19.8-vs-23.9
+        GCUPS gap to the megabase rows.
+        """
+        return self.block_row_count + self.grid.blocks - 1
+
+    @property
+    def cells(self) -> int:
+        return self.m * self.n
+
+    # ------------------------------------------------------------------
+    # bus traffic (Section III-C)
+    # ------------------------------------------------------------------
+    @property
+    def horizontal_bus_bytes(self) -> int:
+        """Global-memory bytes for the row handed to the block below: the
+        last row of every block row, H and F per cell."""
+        return self.block_row_count * (self.n + 1) * SPECIAL_CELL_BYTES
+
+    @property
+    def vertical_bus_bytes(self) -> int:
+        """Bytes for the last column of every thread handed rightward:
+        alpha cells (H and E) per thread per block step."""
+        per_step = self.grid.total_threads * self.grid.alpha * SPECIAL_CELL_BYTES
+        return self.external_diagonals * per_step

@@ -1,0 +1,122 @@
+"""Multi-GPU execution — the paper's stated future work ("we intend ...
+to extend the tests to even more powerful GPUs, including systems with
+dual cards"; realized later in the CUDAlign lineage as multi-GPU
+CUDAlign 2.1+).
+
+The natural decomposition (and the one the follow-on work used) assigns
+each device a vertical slice of columns; devices form a pipeline in which
+device ``d`` streams its rightmost column (H and E, the vertical bus) to
+device ``d + 1`` with a small lag.  Because the wavefront keeps every
+device busy once filled, the steady-state speedup is nearly linear in the
+device count, degraded only by the pipeline fill and the inter-device
+transfer bandwidth.
+
+Two faces, mirroring the rest of :mod:`repro.gpusim`:
+
+* :func:`multi_gpu_sweep_score` — a *real* computation over
+  :mod:`repro.align.tiled`, structured exactly as the device pipeline
+  (one strip per device, row-band granularity), asserting bit-equality
+  with the single-device kernel;
+* :func:`multi_gpu_sweep_cost` — the calibrated time model, predicting
+  Stage-1 runtimes for dual/quad GTX 285 systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, DeviceError
+from repro.align.scoring import ScoringScheme
+from repro.align.tiled import tiled_local_sweep
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.grid import KernelGrid
+from repro.gpusim.perf import sweep_cost
+from repro.sequences.sequence import Sequence
+
+
+@dataclass(frozen=True)
+class MultiGpuSystem:
+    """A pipeline of identical devices over column slices."""
+
+    device: DeviceSpec
+    count: int
+    #: Host-mediated inter-device copy bandwidth (GTX-285-era PCIe x16).
+    link_bytes_per_s: float = 5.0e9
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise DeviceError("a multi-GPU system needs at least one device")
+        if self.link_bytes_per_s <= 0:
+            raise DeviceError("link bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class MultiGpuCost:
+    """Modeled cost of a multi-device Stage-1 sweep."""
+
+    seconds: float
+    per_device_seconds: float
+    fill_seconds: float
+    transfer_seconds: float
+    speedup_vs_one: float
+    efficiency: float
+
+
+def multi_gpu_sweep_score(s0: Sequence, s1: Sequence, scheme: ScoringScheme,
+                          system: MultiGpuSystem, *,
+                          band_rows: int = 256) -> int:
+    """Actually execute the sliced sweep (bit-identical to one device)."""
+    if len(s1) < system.count:
+        raise ConfigError("fewer columns than devices")
+    strip = max(1, len(s1) // system.count)
+    result = tiled_local_sweep(s0.codes, s1.codes, scheme,
+                               band_rows=min(band_rows, len(s0)),
+                               strip_cols=strip)
+    return result.best
+
+
+def multi_gpu_sweep_cost(m: int, n: int, grid: KernelGrid,
+                         system: MultiGpuSystem, *,
+                         band_rows: int | None = None) -> MultiGpuCost:
+    """Model an ``m x n`` Stage-1 sweep on the device pipeline.
+
+    Per-device compute covers an ``m x (n / D)`` slice; the pipeline fill
+    adds ``(D - 1)`` band latencies; every band boundary moves one bus
+    column (8 bytes per row of the band) across the link.
+    """
+    if m <= 0 or n <= 0:
+        raise ConfigError("matrix dimensions must be positive")
+    d = system.count
+    band_rows = band_rows or grid.block_rows
+    slice_n = max(1, n // d)
+    per_device = sweep_cost(m, slice_n, grid, system.device).seconds
+    single = sweep_cost(m, n, grid, system.device).seconds
+    bands = max(1, m // band_rows)
+    band_time = per_device / bands
+    fill = (d - 1) * band_time
+    transfer_bytes = (d - 1) * m * 8  # right-edge H and E, 4 bytes each
+    transfer = transfer_bytes / system.link_bytes_per_s
+    total = per_device + fill + transfer
+    return MultiGpuCost(
+        seconds=total,
+        per_device_seconds=per_device,
+        fill_seconds=fill,
+        transfer_seconds=transfer,
+        speedup_vs_one=single / total,
+        efficiency=single / total / d,
+    )
+
+
+def stage4_gpu_estimate(cells: int, partitions: int, grid: KernelGrid,
+                        device: DeviceSpec) -> float:
+    """Estimated Stage-4 time if migrated to the GPU (future work,
+    Section VI): one thread block per partition removes the minimum size
+    requirement, so the device's occupancy — and thus its effective rate
+    — is bounded by how many partitions are in flight."""
+    if cells < 0 or partitions < 0:
+        raise ConfigError("cells and partitions must be non-negative")
+    if cells == 0:
+        return 0.0
+    in_flight = min(max(1, partitions), grid.blocks)
+    occupancy = min(1.0, in_flight * grid.threads / device.saturation_threads)
+    return cells / (device.peak_gcups * 1e9 * occupancy)

@@ -1,0 +1,123 @@
+"""Analytic paper-scale estimates for Stages 2-4 (Tables VII/VIII).
+
+At paper scale (10^15 cells) the downstream stages cannot be executed in
+Python, but their *work* follows from the geometry of the optimal
+alignment and the storage budgets, through relations the paper's own
+tables validate:
+
+* Stage 1 saves a special row every ``y = 8mn / (alpha*T*|SRA|)`` rows
+  (Section IV-B), creating ``~row_span / y`` bands over the alignment;
+* Stage 2's orthogonal, goal-based sweep processes ~one band height per
+  aligned column:  ``Cells_2 ~= y * col_span`` (Section IV-C says exactly
+  this: "the area processed is the size of the flush interval multiplied
+  by the size n").  Against Table VIII: predicted 3.9e13 / 8.1e12 vs
+  published 3.83e13 / 8.10e12 at 10/50 GB — within 2%;
+* Stage 2 saves special columns about every ``z`` columns; Table VIII's
+  W_max column *is* z (the widest partition sits between adjacent saved
+  columns), and it scales as ``z ~= c * y^2`` (each band stores a fixed
+  byte budget, so fewer-but-taller bands store sparser columns);
+  ``c`` is calibrated once from the 50 GB row;
+* Stage 3 re-anchors at every crosspoint and sweeps ~diagonal squares of
+  side z:  ``Cells_3 ~= 2 * z * row_span``;
+* Stage 4's Myers-Miller rounds process ``Cells_4 ~= k4 * z * row_span``
+  with ``k4 ~= 0.64`` calibrated from Table IX's 501 s / 110 MCUPS.
+
+Times combine the cell counts with the device model: Stage 2 adds the
+special-row *read* traffic (one full row per band); Stage 3's grid is
+derated by the minimum size requirement at width z (the B3 collapse of
+Table VIII) plus a per-crosspoint restart cost — which is precisely what
+makes its runtime non-monotone in the SRA size, the paper's most
+distinctive Table VII effect.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.gpusim.device import DeviceSpec, HostSpec
+from repro.gpusim.grid import KernelGrid
+from repro.gpusim.perf import grid_rate_gcups, host_seconds
+
+#: z = C_Z * y^2: calibrated from Table VIII's 50 GB row
+#: (y = 32.8e6/134 ~= 245k, W_max = 2624).
+C_Z = 2624 / (245_000.0 ** 2)
+
+#: Stage-4 work factor vs (row_span * z); Table IX: 5.5e10 cells at z=2624.
+K4 = 0.64
+
+
+@dataclass(frozen=True)
+class AlignmentGeometry:
+    """Paper-scale comparison geometry (Table III row)."""
+
+    m: int
+    n: int
+    row_span: int   # i_end - i_start of the optimal alignment
+    col_span: int   # j_end - j_start
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n) <= 0:
+            raise ConfigError("matrix dimensions must be positive")
+        if not 0 < self.row_span <= self.m or not 0 < self.col_span <= self.n:
+            raise ConfigError("alignment span must fit inside the matrix")
+
+
+#: The flagship human-chimp comparison (Table III, last row).
+CHROMOSOME_GEOMETRY = AlignmentGeometry(
+    m=32_799_110, n=46_944_323,
+    row_span=32_718_231, col_span=46_919_080 - 13_841_680)
+
+
+@dataclass(frozen=True)
+class StageEstimates:
+    """Analytic paper-scale workload + modeled seconds for one SRA size."""
+
+    sra_bytes: int
+    row_interval: float        # y
+    column_interval: float     # z (~ Table VIII's W_max)
+    bands: int                 # ~ |L_2| - 1
+    crosspoints3: int          # ~ |L_3|
+    cells2: float
+    cells3: float
+    cells4: float
+    seconds2: float
+    seconds3: float
+    seconds4: float
+    effective_b3: int
+
+
+def estimate(geometry: AlignmentGeometry, sra_bytes: int, *,
+             grid2: KernelGrid, grid3: KernelGrid, device: DeviceSpec,
+             host: HostSpec, block_rows: int = 256) -> StageEstimates:
+    """Paper-scale Stage 2-4 estimates for one SRA budget."""
+    if sra_bytes <= 0:
+        raise ConfigError("the estimate needs a positive SRA budget")
+    row_bytes = 8 * (geometry.n + 1)
+    saved_rows = max(1, sra_bytes // row_bytes)
+    y = geometry.m / (saved_rows + 1)
+    bands = max(1, math.ceil(geometry.row_span / y))
+    z = max(float(block_rows), C_Z * y * y)
+    crosspoints3 = max(1, int(geometry.col_span / z))
+
+    cells2 = y * geometry.col_span
+    cells3 = 2.0 * z * geometry.row_span
+    cells4 = K4 * z * geometry.row_span
+
+    rate2 = grid_rate_gcups(grid2.shrink_to(max(int(y), grid2.minimum_width),
+                                            device), device) * 1e9
+    read_bytes = bands * row_bytes
+    seconds2 = cells2 / rate2 + read_bytes / 1e9 * device.read_s_per_gb
+
+    g3 = grid3.shrink_to(max(int(z), 2 * grid3.threads), device)
+    rate3 = grid_rate_gcups(g3, device) * 1e9
+    seconds3 = cells3 / rate3 + crosspoints3 * device.restart_s
+
+    seconds4 = host_seconds(int(cells4), host)
+    return StageEstimates(
+        sra_bytes=sra_bytes, row_interval=y, column_interval=z,
+        bands=bands, crosspoints3=crosspoints3,
+        cells2=cells2, cells3=cells3, cells4=cells4,
+        seconds2=seconds2, seconds3=seconds3, seconds4=seconds4,
+        effective_b3=g3.blocks)

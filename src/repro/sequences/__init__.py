@@ -1,0 +1,21 @@
+"""Sequence substrate: containers, FASTA I/O, synthetic generators, catalog."""
+
+from repro.sequences.sequence import ALPHABET, N_CODE, Sequence, decode, encode
+from repro.sequences.fasta import iter_fasta, read_fasta, write_fasta
+from repro.sequences.synth import (
+    MutationProfile,
+    embedded_core_pair,
+    homologous_pair,
+    mutate,
+    random_dna,
+)
+from repro.sequences.catalog import CATALOG, CatalogEntry, get_entry
+from repro.sequences.bigseq import open_packed, pack_fasta
+
+__all__ = [
+    "open_packed", "pack_fasta",
+    "ALPHABET", "N_CODE", "Sequence", "decode", "encode",
+    "iter_fasta", "read_fasta", "write_fasta",
+    "MutationProfile", "embedded_core_pair", "homologous_pair", "mutate", "random_dna",
+    "CATALOG", "CatalogEntry", "get_entry",
+]

@@ -1,0 +1,78 @@
+"""Minimal FASTA reader/writer.
+
+CUDAlign reads its two input chromosomes from FASTA files; this module
+provides the same front door.  Only the features the pipeline needs are
+implemented: multi-record files, arbitrary line wrapping, comments, and
+case-insensitive bases.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import SequenceError
+from repro.sequences.sequence import Sequence, encode
+
+
+def iter_fasta(path: str | os.PathLike | io.TextIOBase) -> Iterator[Sequence]:
+    """Yield :class:`Sequence` objects from a FASTA file or text handle."""
+    if isinstance(path, io.TextIOBase):
+        yield from _parse(path)
+    else:
+        with open(path, "r", encoding="ascii") as handle:
+            yield from _parse(handle)
+
+
+def _parse(handle) -> Iterator[Sequence]:
+    name: str | None = None
+    accession = ""
+    chunks: list[np.ndarray] = []
+    for raw in handle:
+        line = raw.strip()
+        if not line or line.startswith(";"):
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                yield _emit(name, accession, chunks)
+            header = line[1:].strip()
+            if not header:
+                raise SequenceError("FASTA record with empty header")
+            accession = header.split()[0]
+            name = header
+            chunks = []
+        else:
+            if name is None:
+                raise SequenceError("FASTA data before the first '>' header")
+            chunks.append(encode(line))
+    if name is not None:
+        yield _emit(name, accession, chunks)
+
+
+def _emit(name: str, accession: str, chunks: list[np.ndarray]) -> Sequence:
+    if not chunks:
+        raise SequenceError(f"FASTA record {name!r} has no sequence data")
+    return Sequence(np.concatenate(chunks), name=name, accession=accession)
+
+
+def read_fasta(path: str | os.PathLike) -> Sequence:
+    """Read the first record of a FASTA file (the common single-chromosome case)."""
+    for seq in iter_fasta(path):
+        return seq
+    raise SequenceError(f"{path}: no FASTA records found")
+
+
+def write_fasta(path: str | os.PathLike, *sequences: Sequence, width: int = 70) -> None:
+    """Write sequences to ``path`` in FASTA format with ``width``-column wrapping."""
+    if width <= 0:
+        raise SequenceError("FASTA line width must be positive")
+    with open(path, "w", encoding="ascii") as handle:
+        for seq in sequences:
+            handle.write(f">{seq.name}\n")
+            text = str(seq)
+            for start in range(0, len(text), width):
+                handle.write(text[start:start + width])
+                handle.write("\n")

@@ -1,0 +1,111 @@
+"""DNA sequence container.
+
+Sequences are stored as contiguous ``uint8`` NumPy arrays holding the
+*encoded* alphabet (A=0, C=1, G=2, T=3, N=4).  Keeping the encoded form
+contiguous lets every DP kernel compare characters with a single
+vectorized ``==`` on integer arrays, which is the hot operation of the
+whole system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SequenceError
+
+#: Canonical alphabet order.  ``N`` (unknown base) never matches anything,
+#: including another ``N`` — mirroring how CUDAlign treats masked bases.
+ALPHABET = "ACGTN"
+
+_ENCODE = np.full(256, 255, dtype=np.uint8)
+for _i, _c in enumerate(ALPHABET):
+    _ENCODE[ord(_c)] = _i
+    _ENCODE[ord(_c.lower())] = _i
+
+_DECODE = np.frombuffer(ALPHABET.encode(), dtype=np.uint8)
+
+#: Code for the never-matching unknown base.
+N_CODE = ALPHABET.index("N")
+
+
+def encode(text: str | bytes) -> np.ndarray:
+    """Encode an ASCII DNA string into the internal uint8 code array.
+
+    Raises :class:`SequenceError` on characters outside ``ACGTNacgtn``.
+    """
+    if isinstance(text, str):
+        raw = np.frombuffer(text.encode("ascii", errors="strict"), dtype=np.uint8)
+    else:
+        raw = np.frombuffer(bytes(text), dtype=np.uint8)
+    codes = _ENCODE[raw]
+    if codes.size and codes.max(initial=0) == 255:
+        bad = chr(int(raw[np.argmax(codes == 255)]))
+        raise SequenceError(f"invalid DNA character {bad!r}")
+    return codes
+
+
+def decode(codes: np.ndarray) -> str:
+    """Decode an internal code array back to an ASCII string."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size and codes.max(initial=0) >= len(ALPHABET):
+        raise SequenceError("code array contains out-of-alphabet values")
+    return _DECODE[codes].tobytes().decode("ascii")
+
+
+@dataclass(frozen=True)
+class Sequence:
+    """An immutable DNA sequence with an optional name.
+
+    ``codes`` uses the encoding of :data:`ALPHABET`; slicing returns views,
+    never copies, so sub-problems over huge sequences stay O(1) in memory.
+    """
+
+    codes: np.ndarray
+    name: str = "seq"
+    accession: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        codes = np.ascontiguousarray(self.codes, dtype=np.uint8)
+        if codes.ndim != 1:
+            raise SequenceError("sequence codes must be one-dimensional")
+        if codes.size == 0:
+            raise SequenceError("empty sequences cannot be aligned")
+        if codes.max(initial=0) >= len(ALPHABET):
+            raise SequenceError("code array contains out-of-alphabet values")
+        codes.setflags(write=False)
+        object.__setattr__(self, "codes", codes)
+
+    @classmethod
+    def from_text(cls, text: str, name: str = "seq", accession: str = "") -> "Sequence":
+        """Build a sequence from an ASCII string of bases."""
+        return cls(encode(text), name=name, accession=accession)
+
+    def __len__(self) -> int:
+        return int(self.codes.size)
+
+    def __getitem__(self, item: slice) -> "Sequence":
+        if not isinstance(item, slice):
+            raise TypeError("Sequence supports slice indexing only; use .codes for scalars")
+        view = self.codes[item]
+        if view.size == 0:
+            raise SequenceError("slice produced an empty sequence")
+        return Sequence(view, name=self.name, accession=self.accession)
+
+    def __str__(self) -> str:
+        return decode(self.codes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        head = decode(self.codes[:24])
+        tail = "..." if len(self) > 24 else ""
+        return f"Sequence({self.name!r}, {len(self)} bp, {head}{tail})"
+
+    def reversed(self) -> "Sequence":
+        """Return the reversed (not complemented) sequence.
+
+        The reverse sweeps of Stages 2 and 4 operate on reversed
+        subsequences; complementation is not involved in the algorithm.
+        """
+        return Sequence(np.ascontiguousarray(self.codes[::-1]), name=self.name + "(rev)",
+                        accession=self.accession)

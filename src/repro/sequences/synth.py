@@ -1,0 +1,148 @@
+"""Deterministic synthetic DNA generators.
+
+The paper evaluates on real NCBI chromosomes (Table II), which are not
+available offline and whose 10^15-cell matrices are not computable in
+Python.  These generators produce scaled-down pairs that exercise the same
+regimes:
+
+* ``homologous_pair`` — a common ancestor mutated twice (SNPs + indels),
+  giving megabase-style comparisons whose optimal local alignment spans
+  almost the whole matrix (the 5M x 5M and human-chimp rows of Table III,
+  where the alignment covers ~100% of the shorter sequence).
+* ``embedded_core_pair`` — two unrelated sequences sharing one conserved
+  core, giving the short-local-hit regime (the 162K x 172K and 7146K x
+  5227K rows, whose alignments are tiny relative to the matrix).
+
+All randomness flows through an explicit ``numpy.random.Generator`` so the
+catalog (and therefore every test and benchmark) is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SequenceError
+from repro.sequences.sequence import Sequence
+
+
+def random_dna(length: int, rng: np.random.Generator, name: str = "random") -> Sequence:
+    """Uniform random DNA of ``length`` bases over ACGT."""
+    if length <= 0:
+        raise SequenceError("sequence length must be positive")
+    return Sequence(rng.integers(0, 4, size=length, dtype=np.uint8), name=name)
+
+
+@dataclass(frozen=True)
+class MutationProfile:
+    """Per-base mutation rates applied by :func:`mutate`.
+
+    ``substitution`` is the per-base SNP probability; ``insertion`` and
+    ``deletion`` are per-base probabilities of *opening* an indel whose
+    length is geometric with mean ``indel_mean_len`` (gaps cluster, which
+    is exactly why the affine model exists — Section II).
+    """
+
+    substitution: float = 0.02
+    insertion: float = 0.001
+    deletion: float = 0.001
+    indel_mean_len: float = 3.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("substitution", "insertion", "deletion"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value < 1.0:
+                raise SequenceError(f"{field_name} rate must be in [0, 1)")
+        if self.indel_mean_len < 1.0:
+            raise SequenceError("indel_mean_len must be >= 1")
+
+
+def mutate(seq: Sequence, profile: MutationProfile, rng: np.random.Generator,
+           name: str | None = None) -> Sequence:
+    """Apply SNPs and clustered indels to ``seq``; fully vectorized."""
+    codes = seq.codes.copy()
+    n = codes.size
+
+    # SNPs: pick positions, then shift each base by 1..3 mod 4 so the new
+    # base is always different from the old one.
+    snp_mask = rng.random(n) < profile.substitution
+    shifts = rng.integers(1, 4, size=int(snp_mask.sum()), dtype=np.uint8)
+    codes[snp_mask] = (codes[snp_mask] + shifts) % 4
+
+    # Indels: choose opening positions, then splice.  Done with one pass of
+    # np.split-free concatenation to stay O(n).
+    p_gap = profile.insertion + profile.deletion
+    if p_gap > 0.0:
+        opens = np.flatnonzero(rng.random(n) < p_gap)
+        if opens.size:
+            is_ins = rng.random(opens.size) < (profile.insertion / p_gap)
+            lengths = rng.geometric(1.0 / profile.indel_mean_len, size=opens.size)
+            pieces: list[np.ndarray] = []
+            cursor = 0
+            for pos, ins, length in zip(opens.tolist(), is_ins.tolist(), lengths.tolist()):
+                if pos < cursor:
+                    continue  # swallowed by a previous deletion
+                pieces.append(codes[cursor:pos])
+                if ins:
+                    pieces.append(rng.integers(0, 4, size=length, dtype=np.uint8))
+                    cursor = pos
+                else:
+                    cursor = min(n, pos + length)
+            pieces.append(codes[cursor:])
+            codes = np.concatenate(pieces) if len(pieces) > 1 else pieces[0]
+
+    if codes.size == 0:
+        raise SequenceError("mutation profile deleted the entire sequence")
+    return Sequence(codes, name=name or (seq.name + "(mut)"))
+
+
+def homologous_pair(length: int, rng: np.random.Generator,
+                    profile: MutationProfile | None = None,
+                    names: tuple[str, str] = ("S0", "S1")) -> tuple[Sequence, Sequence]:
+    """Two descendants of a common random ancestor of ``length`` bases.
+
+    The optimal local alignment between them spans nearly the full matrix,
+    reproducing the 'huge alignment' regime of the chromosome comparisons.
+    """
+    if profile is None:
+        profile = MutationProfile()
+    ancestor = random_dna(length, rng, name="ancestor")
+    s0 = mutate(ancestor, profile, rng, name=names[0])
+    s1 = mutate(ancestor, profile, rng, name=names[1])
+    return s0, s1
+
+
+def embedded_core_pair(length0: int, length1: int, core_length: int,
+                       rng: np.random.Generator,
+                       profile: MutationProfile | None = None,
+                       names: tuple[str, str] = ("S0", "S1")) -> tuple[Sequence, Sequence]:
+    """Unrelated sequences sharing one mutated conserved core.
+
+    Reproduces the short-hit regime: the best local alignment is the core,
+    a sliver of the DP matrix (e.g. the herpesvirus and Rhodopirellula
+    rows of Table III).
+    """
+    if core_length <= 0 or core_length > min(length0, length1):
+        raise SequenceError("core must be positive and fit inside both sequences")
+    if profile is None:
+        profile = MutationProfile(substitution=0.05, insertion=0.002, deletion=0.002)
+    core = random_dna(core_length, rng, name="core")
+
+    def build(total: int, name: str) -> Sequence:
+        variant = mutate(core, profile, rng)
+        flank_total = total - len(variant)
+        if flank_total < 0:
+            variant = variant[:total]
+            flank_total = 0
+        left = flank_total // 2
+        right = flank_total - left
+        parts = []
+        if left:
+            parts.append(rng.integers(0, 4, size=left, dtype=np.uint8))
+        parts.append(variant.codes)
+        if right:
+            parts.append(rng.integers(0, 4, size=right, dtype=np.uint8))
+        return Sequence(np.concatenate(parts) if len(parts) > 1 else parts[0], name=name)
+
+    return build(length0, names[0]), build(length1, names[1])

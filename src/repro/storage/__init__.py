@@ -1,0 +1,15 @@
+"""Disk substrate: the Special Rows Area and the binary alignment codec."""
+
+from repro.storage.sra import (
+    SavedLine,
+    SpecialLineStore,
+    flush_interval_blocks,
+    special_row_positions,
+)
+from repro.storage.binary_alignment import BinaryAlignment
+
+__all__ = [
+    "SavedLine", "SpecialLineStore",
+    "flush_interval_blocks", "special_row_positions",
+    "BinaryAlignment",
+]

@@ -1,0 +1,172 @@
+"""Special Rows Area (SRA): the disk area of Section IV-B.
+
+Stage 1 flushes *special rows* (H and F values, 8 bytes per cell) here;
+Stage 2 flushes *special columns* (H and E values).  The store enforces a
+byte budget exactly like the paper's ``|SRA|`` constant, exposes the
+flush-interval law, and accounts every byte written (the performance model
+charges ~13 s/GB of flush traffic, Section V-B).
+
+Lines can be held in memory (the default for scaled-down runs) or written
+to disk as raw little-endian int32 pairs, preserving the paper's storage
+format and its I/O behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import SCORE_DTYPE, SPECIAL_CELL_BYTES
+from repro.errors import StorageError
+
+
+def flush_interval_blocks(m: int, n: int, block_rows: int, sra_bytes: int) -> int:
+    """Blocks between consecutive special rows (Section IV-B).
+
+    The paper requires the interval to be at least
+    ``ceil(8mn / (alpha*T*|SRA|))`` so the saved rows fit in the SRA;
+    candidates are multiples of the block height ``alpha*T``
+    (``block_rows``).
+    """
+    if m <= 0 or n <= 0 or block_rows <= 0:
+        raise StorageError("matrix and block dimensions must be positive")
+    if sra_bytes <= 0:
+        return 0  # flushing disabled: no row fits
+    row_bytes = SPECIAL_CELL_BYTES * (n + 1)
+    if sra_bytes < row_bytes:
+        return 0  # the SRA cannot hold even one special row
+    return max(1, math.ceil(SPECIAL_CELL_BYTES * m * n / (block_rows * sra_bytes)))
+
+
+def special_row_positions(m: int, n: int, block_rows: int, sra_bytes: int) -> list[int]:
+    """Row indices Stage 1 will flush: multiples of the block height at the
+    flush interval, strictly inside the matrix."""
+    interval = flush_interval_blocks(m, n, block_rows, sra_bytes)
+    if interval == 0:
+        return []
+    step = block_rows * interval
+    rows = list(range(step, m + 1, step))
+    # Never exceed the byte budget even when rounding was generous.
+    row_bytes = SPECIAL_CELL_BYTES * (n + 1)
+    max_rows = sra_bytes // row_bytes
+    return rows[:max_rows]
+
+
+@dataclass(frozen=True)
+class SavedLine:
+    """One special row or column.
+
+    ``H`` and ``G`` are the similarity matrix and the *orthogonal* gap
+    matrix along the line (F for rows, E for columns), both covering
+    ``lo..hi`` inclusive in the orthogonal coordinate.
+    """
+
+    axis: str           # "row" or "col"
+    position: int       # the row index (axis="row") or column index
+    lo: int             # first orthogonal coordinate covered
+    H: np.ndarray = field(repr=False)
+    G: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.axis not in ("row", "col"):
+            raise StorageError(f"invalid line axis {self.axis!r}")
+        if self.H.shape != self.G.shape or self.H.ndim != 1:
+            raise StorageError("H and G must be 1-D arrays of equal length")
+
+    @property
+    def hi(self) -> int:
+        return self.lo + self.H.size - 1
+
+    @property
+    def nbytes(self) -> int:
+        return SPECIAL_CELL_BYTES * self.H.size
+
+    def value_at(self, coord: int) -> tuple[int, int]:
+        """(H, G) at an orthogonal coordinate."""
+        if not self.lo <= coord <= self.hi:
+            raise StorageError(
+                f"coordinate {coord} outside saved line [{self.lo}, {self.hi}]")
+        k = coord - self.lo
+        return int(self.H[k]), int(self.G[k])
+
+
+class SpecialLineStore:
+    """Byte-budgeted store of special rows/columns.
+
+    Namespaces keep each producer's lines separate (e.g. Stage 1's rows vs
+    the per-band columns of Stage 2).  With ``directory`` set, every line
+    is round-tripped through a raw binary file — the real disk behaviour
+    the paper measures; otherwise lines stay in memory.
+    """
+
+    def __init__(self, capacity_bytes: int, directory: str | os.PathLike | None = None):
+        if capacity_bytes < 0:
+            raise StorageError("capacity must be non-negative")
+        self.capacity_bytes = int(capacity_bytes)
+        self.directory = os.fspath(directory) if directory is not None else None
+        if self.directory is not None:
+            os.makedirs(self.directory, exist_ok=True)
+        self.bytes_used = 0
+        self.bytes_written = 0  # lifetime flush traffic (perf model input)
+        self._lines: dict[tuple[str, int], SavedLine] = {}
+
+    def save(self, namespace: str, line: SavedLine) -> None:
+        """Store a line, enforcing the byte budget."""
+        key = (namespace, line.position)
+        if key in self._lines:
+            raise StorageError(f"line {key} already saved")
+        if self.bytes_used + line.nbytes > self.capacity_bytes:
+            raise StorageError(
+                f"SRA budget exceeded: {self.bytes_used + line.nbytes} > "
+                f"{self.capacity_bytes} bytes")
+        if self.directory is not None:
+            payload = np.empty(2 * line.H.size, dtype=SCORE_DTYPE)
+            payload[0::2] = line.H
+            payload[1::2] = line.G
+            path = self._path(namespace, line.position)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            payload.tofile(path)
+        self._lines[key] = line
+        self.bytes_used += line.nbytes
+        self.bytes_written += line.nbytes
+
+    def load(self, namespace: str, position: int) -> SavedLine:
+        key = (namespace, position)
+        try:
+            meta = self._lines[key]
+        except KeyError:
+            raise StorageError(f"no special line saved at {key}") from None
+        if self.directory is None:
+            return meta
+        payload = np.fromfile(self._path(namespace, position), dtype=SCORE_DTYPE)
+        return SavedLine(axis=meta.axis, position=meta.position, lo=meta.lo,
+                         H=payload[0::2].copy(), G=payload[1::2].copy())
+
+    def positions(self, namespace: str) -> list[int]:
+        """Sorted line positions stored under a namespace."""
+        return sorted(pos for ns, pos in self._lines if ns == namespace)
+
+    def release(self, namespace: str) -> int:
+        """Drop every line of a namespace, freeing budget; returns bytes freed.
+
+        The pipeline releases each band's special columns once Stage 3 has
+        consumed them, which is what keeps total disk usage O(m + n).
+        """
+        freed = 0
+        for key in [k for k in self._lines if k[0] == namespace]:
+            line = self._lines.pop(key)
+            freed += line.nbytes
+            if self.directory is not None:
+                path = self._path(*key)
+                if os.path.exists(path):
+                    os.remove(path)
+        self.bytes_used -= freed
+        return freed
+
+    def _path(self, namespace: str, position: int) -> str:
+        assert self.directory is not None
+        safe = namespace.replace("/", "_")
+        return os.path.join(self.directory, safe, f"{position}.bin")

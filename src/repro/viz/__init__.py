@@ -1,0 +1,6 @@
+"""Stage-6 visualization: text rendering and dotplots."""
+
+from repro.viz.dotplot import ascii_dotplot, svg_dotplot
+from repro.viz.text_render import render_alignment_text
+
+__all__ = ["ascii_dotplot", "svg_dotplot", "render_alignment_text"]

@@ -1,0 +1,78 @@
+"""Dotplot of the alignment path (the paper's Figure 12).
+
+Two renderers over the same binning: an ASCII grid (terminal friendly)
+and an SVG polyline (file output), both plotting the optimal alignment's
+trajectory through the DP matrix.  No plotting dependencies required.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AlignmentError
+from repro.align.alignment import Alignment
+
+
+def _path_points(alignment: Alignment, stride: int = 1) -> np.ndarray:
+    """(K, 2) array of (i, j) samples along the path, endpoints included."""
+    ops = alignment.ops
+    di = (ops != 1).astype(np.int64)
+    dj = (ops != 2).astype(np.int64)
+    ii = np.concatenate(([alignment.i0], alignment.i0 + np.cumsum(di)))
+    jj = np.concatenate(([alignment.j0], alignment.j0 + np.cumsum(dj)))
+    pts = np.stack([ii, jj], axis=1)
+    if stride > 1:
+        keep = np.arange(0, pts.shape[0], stride)
+        if keep[-1] != pts.shape[0] - 1:
+            keep = np.concatenate((keep, [pts.shape[0] - 1]))
+        pts = pts[keep]
+    return pts
+
+
+def ascii_dotplot(alignment: Alignment, m: int, n: int, size: int = 48) -> str:
+    """An ASCII dotplot: '*' cells are crossed by the alignment path.
+
+    The full m x n matrix is binned to at most ``size`` columns (rows scale
+    by the aspect ratio), like Figure 12's chromosome-scale overview.
+    """
+    if size < 2:
+        raise AlignmentError("dotplot size must be at least 2")
+    if m <= 0 or n <= 0:
+        raise AlignmentError("matrix dimensions must be positive")
+    cols = min(size, n)
+    rows = max(2, min(size, m, round(cols * m / n) or 2))
+    grid = np.full((rows, cols), ord("."), dtype=np.uint8)
+    pts = _path_points(alignment)
+    r = np.minimum((pts[:, 0] * rows) // max(1, m), rows - 1)
+    c = np.minimum((pts[:, 1] * cols) // max(1, n), cols - 1)
+    grid[r, c] = ord("*")
+    header = f"S1 (1..{n}) ->"
+    body = "\n".join(grid[k].tobytes().decode() for k in range(rows))
+    return f"{header}\n{body}"
+
+
+def svg_dotplot(alignment: Alignment, m: int, n: int, *, width: int = 640,
+                height: int = 640, stride: int | None = None) -> str:
+    """An SVG rendering of the alignment path (Figure 12 analogue)."""
+    if m <= 0 or n <= 0:
+        raise AlignmentError("matrix dimensions must be positive")
+    if stride is None:
+        stride = max(1, len(alignment) // 4096)
+    pts = _path_points(alignment, stride=stride)
+    xs = pts[:, 1] / n * (width - 20) + 10
+    ys = pts[:, 0] / m * (height - 20) + 10
+    coords = " ".join(f"{x:.1f},{y:.1f}" for x, y in zip(xs, ys))
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">\n'
+        f'  <rect width="{width}" height="{height}" fill="white" '
+        f'stroke="black"/>\n'
+        f'  <text x="{width // 2}" y="{height - 2}" font-size="10" '
+        f'text-anchor="middle">S1 (1..{n})</text>\n'
+        f'  <text x="10" y="{height // 2}" font-size="10" '
+        f'transform="rotate(-90 10 {height // 2})" '
+        f'text-anchor="middle">S0 (1..{m})</text>\n'
+        f'  <polyline points="{coords}" fill="none" stroke="crimson" '
+        f'stroke-width="1.5"/>\n'
+        f"</svg>\n"
+    )

@@ -1,0 +1,48 @@
+"""Textual alignment rendering (the Stage-6 text output).
+
+Renders the classic three-row blocks::
+
+    S0      1 ACTTCC--AGA
+              |.||||  ||
+    S1      1 AGTTCCGGAGG
+
+with coordinates in DP-matrix convention (first consumed base of each
+block, 1-based like the paper's tables).
+"""
+
+from __future__ import annotations
+
+from repro.errors import AlignmentError
+from repro.align.alignment import Alignment
+from repro.sequences.sequence import Sequence
+
+
+def render_alignment_text(alignment: Alignment, s0: Sequence, s1: Sequence,
+                          width: int = 60) -> str:
+    """Full textual rendering, wrapped at ``width`` columns."""
+    if width < 1:
+        raise AlignmentError("render width must be positive")
+    top, marker, bottom = alignment.render_rows(s0, s1)
+    n = len(top)
+    label0 = (s0.name or "S0")[:10]
+    label1 = (s1.name or "S1")[:10]
+    pad = max(len(label0), len(label1))
+    coord_width = len(str(max(alignment.end)))
+    lines: list[str] = [
+        f"Alignment of {s0.name} x {s1.name}",
+        f"start=({alignment.i0}, {alignment.j0}) "
+        f"end={alignment.end} length={len(alignment)}",
+        "",
+    ]
+    i, j = alignment.i0, alignment.j0
+    for block in range(0, n, width):
+        t = top[block:block + width]
+        mk = marker[block:block + width]
+        b = bottom[block:block + width]
+        lines.append(f"{label0:<{pad}} {i + 1:>{coord_width}} {t}")
+        lines.append(f"{'':<{pad}} {'':>{coord_width}} {mk}")
+        lines.append(f"{label1:<{pad}} {j + 1:>{coord_width}} {b}")
+        lines.append("")
+        i += sum(1 for c in t if c != "-")
+        j += sum(1 for c in b if c != "-")
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Property tests exercise real DP kernels whose per-example time varies
+# wildly with the drawn sizes; wall-clock deadlines only add flakiness.
+settings.register_profile(
+    "repro", deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile("repro")
+
+from repro.align.scoring import PAPER_SCHEME, ScoringScheme
+from repro.sequences.sequence import Sequence
+from repro.sequences.synth import MutationProfile, homologous_pair, random_dna
+
+
+@pytest.fixture
+def scheme() -> ScoringScheme:
+    """The paper's experimental scoring parameters."""
+    return PAPER_SCHEME
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def make_pair(rng: np.random.Generator, m: int, n: int,
+              related: bool = True) -> tuple[Sequence, Sequence]:
+    """A deterministic test pair; related pairs share a mutated ancestor."""
+    if related:
+        # Generate with headroom: indels can shorten the descendants below
+        # the ancestor length, and the test contract is exact sizes.
+        s0, s1 = homologous_pair(
+            2 * max(m, n) + 64, rng,
+            profile=MutationProfile(substitution=0.08, insertion=0.02,
+                                    deletion=0.02, indel_mean_len=2.5))
+        return s0[:m], s1[:n]
+    return random_dna(m, rng, "A"), random_dna(n, rng, "B")
+
+
+#: A compact set of scoring schemes covering the parameter space that the
+#: kernels' algebra depends on (gap_first == gap_ext is the scan trick's
+#: boundary case).
+SCHEMES = [
+    PAPER_SCHEME,
+    ScoringScheme(match=2, mismatch=-1, gap_first=3, gap_ext=1),
+    ScoringScheme(match=1, mismatch=-2, gap_first=2, gap_ext=2),
+    ScoringScheme(match=5, mismatch=0, gap_first=8, gap_ext=1),
+]

@@ -1,0 +1,100 @@
+"""Memory-mapped packed sequences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SequenceError
+from repro.align.rowscan import RowSweeper
+from repro.align.scoring import PAPER_SCHEME
+from repro.sequences import (
+    Sequence,
+    homologous_pair,
+    open_packed,
+    pack_fasta,
+    write_fasta,
+)
+
+
+@pytest.fixture
+def packed(tmp_path, rng):
+    s0, _ = homologous_pair(2000, rng)
+    fasta = tmp_path / "x.fasta"
+    write_fasta(fasta, s0)
+    out = tmp_path / "x.seq"
+    length = pack_fasta(fasta, out)
+    return s0, out, length
+
+
+class TestPackOpen:
+    def test_round_trip(self, packed):
+        s0, out, length = packed
+        assert length == len(s0)
+        mm = open_packed(out)
+        assert len(mm) == len(s0)
+        np.testing.assert_array_equal(np.asarray(mm.codes), s0.codes)
+
+    def test_memmap_backed(self, packed):
+        _, out, _ = packed
+        mm = open_packed(out)
+        assert isinstance(mm.codes.base, np.memmap) or isinstance(
+            mm.codes, np.memmap)
+
+    def test_second_record(self, tmp_path, rng):
+        a, b = homologous_pair(500, rng)
+        fasta = tmp_path / "two.fasta"
+        write_fasta(fasta, a, b)
+        out = tmp_path / "b.seq"
+        pack_fasta(fasta, out, record=1)
+        np.testing.assert_array_equal(np.asarray(open_packed(out).codes),
+                                      b.codes)
+
+    def test_missing_record(self, tmp_path, rng):
+        a, _ = homologous_pair(100, rng)
+        fasta = tmp_path / "one.fasta"
+        write_fasta(fasta, a)
+        with pytest.raises(SequenceError, match="record 3"):
+            pack_fasta(fasta, tmp_path / "x.seq", record=3)
+
+    def test_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.seq"
+        bad.write_bytes(b"nope")
+        with pytest.raises(SequenceError):
+            open_packed(bad)
+        bad.write_bytes(b"XXXX" + bytes(12))
+        with pytest.raises(SequenceError, match="bad magic"):
+            open_packed(bad)
+
+    def test_rejects_truncation(self, packed, tmp_path):
+        _, out, _ = packed
+        blob = out.read_bytes()
+        cut = tmp_path / "cut.seq"
+        cut.write_bytes(blob[:-10])
+        with pytest.raises(SequenceError, match="truncated"):
+            open_packed(cut)
+
+
+class TestAlignmentOverMemmap:
+    def test_sweep_works_on_memmap(self, packed, tmp_path, rng):
+        s0, out, _ = packed
+        mm = open_packed(out, name="mapped")
+        other = Sequence.from_text("ACGT" * 200)
+        direct = RowSweeper(s0.codes, other.codes, PAPER_SCHEME, local=True,
+                            track_best=True).run()
+        mapped = RowSweeper(mm.codes, other.codes, PAPER_SCHEME, local=True,
+                            track_best=True).run()
+        assert direct.best == mapped.best
+
+    def test_full_pipeline_on_memmap(self, tmp_path, rng):
+        from repro.core import CUDAlign, small_config
+        s0, s1 = homologous_pair(600, rng)
+        for name, seq in (("a", s0), ("b", s1)):
+            write_fasta(tmp_path / f"{name}.fasta", seq)
+            pack_fasta(tmp_path / f"{name}.fasta", tmp_path / f"{name}.seq")
+        m0 = open_packed(tmp_path / "a.seq")
+        m1 = open_packed(tmp_path / "b.seq")
+        config = small_config(block_rows=32, n=len(m1), sra_rows=4)
+        result = CUDAlign(config).run(m0, m1, visualize=False)
+        plain = CUDAlign(config).run(s0, s1, visualize=False)
+        assert result.best_score == plain.best_score

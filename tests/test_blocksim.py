@@ -1,0 +1,143 @@
+"""Block-scheduled GPU simulation vs the monolithic kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.align import reference
+from repro.align.rowscan import RowSweeper
+from repro.core.config import sra_bytes_for_rows
+from repro.gpusim import GTX_285, KernelGrid, SweepGeometry
+from repro.gpusim.blocksim import simulate_stage1
+
+from tests.conftest import SCHEMES, make_pair
+
+GRID = KernelGrid(blocks=4, threads=8, alpha=2)  # block rows of 16
+
+
+class TestNumericalEquivalence:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_best_matches_monolithic(self, rng, scheme):
+        s0, s1 = make_pair(rng, 100, 120)
+        sim = simulate_stage1(s0, s1, scheme, GRID, GTX_285)
+        mono = RowSweeper(s0.codes, s1.codes, scheme, local=True,
+                          track_best=True).run()
+        assert sim.best == mono.best
+        assert sim.cells == 100 * 120
+
+    def test_best_position_scores_best(self, rng, scheme):
+        s0, s1 = make_pair(rng, 90, 100)
+        sim = simulate_stage1(s0, s1, scheme, GRID, GTX_285)
+        mats = reference.sw_matrices(s0, s1, scheme)
+        i, j = sim.best_pos
+        assert mats.H[i, j] == sim.best
+
+    def test_special_rows_bit_identical(self, rng, scheme):
+        s0, s1 = make_pair(rng, 128, 128)
+        sra = sra_bytes_for_rows(len(s1), 4)
+        sim = simulate_stage1(s0, s1, scheme, GRID, GTX_285, sra_bytes=sra)
+        mono = RowSweeper(s0.codes, s1.codes, scheme, local=True,
+                          save_rows=sorted(sim.special_rows)).run()
+        assert sim.special_rows
+        for r, (h, f) in sim.special_rows.items():
+            np.testing.assert_array_equal(h, mono.saved[r][0])
+            np.testing.assert_array_equal(f, mono.saved[r][1])
+
+    def test_uneven_tail_blocks(self, rng, scheme):
+        # m and n not multiples of the block dimensions.
+        s0, s1 = make_pair(rng, 77, 103)
+        sim = simulate_stage1(s0, s1, scheme, GRID, GTX_285)
+        mono = RowSweeper(s0.codes, s1.codes, scheme, local=True,
+                          track_best=True).run()
+        assert sim.best == mono.best
+        assert sim.cells == 77 * 103
+
+
+class TestSchedule:
+    def test_external_diagonal_count_matches_geometry(self, rng, scheme):
+        s0, s1 = make_pair(rng, 100, 120)
+        sim = simulate_stage1(s0, s1, scheme, GRID, GTX_285)
+        geo = SweepGeometry(100, 120, GRID.shrink_to(120, GTX_285))
+        assert sim.external_diagonals == geo.external_diagonals
+        assert len(sim.occupancy) == sim.external_diagonals
+
+    def test_cells_delegation_keeps_wavefront_full(self, rng, scheme):
+        # Steady state: all B blocks busy; only fill/drain are partial.
+        s0, s1 = make_pair(rng, 160, 128)
+        sim = simulate_stage1(s0, s1, scheme, GRID, GTX_285)
+        B = sim.grid_cols
+        full = [o for o in sim.occupancy if o == B]
+        assert len(full) == sim.external_diagonals - 2 * (B - 1)
+        # Fill ramps 1, 2, ..., B-1 and drain mirrors it.
+        assert sim.occupancy[:B - 1] == list(range(1, B))
+        assert sim.occupancy[-(B - 1):] == list(range(B - 1, 0, -1))
+
+    def test_phase_split(self, rng, scheme):
+        s0, s1 = make_pair(rng, 64, 128)
+        sim = simulate_stage1(s0, s1, scheme, GRID, GTX_285)
+        assert sim.short_phase_cells + sim.long_phase_cells == sim.cells
+        # Short phase = T cells per thread stripe: with 32-wide segments
+        # and T=8, a quarter of each tile.
+        assert sim.short_phase_cells == pytest.approx(sim.cells / 4, rel=0.1)
+
+    def test_bus_traffic_positive_and_bounded(self, rng, scheme):
+        s0, s1 = make_pair(rng, 100, 120)
+        sim = simulate_stage1(s0, s1, scheme, GRID, GTX_285)
+        # Horizontal bus: one (w+1) segment of 8 bytes per tile.
+        assert sim.horizontal_bus_bytes >= 8 * 120
+        assert sim.vertical_bus_bytes >= 8 * 100
+
+    def test_minimum_size_requirement_enforced(self, scheme, rng):
+        s0, s1 = make_pair(rng, 50, 4)
+        big = KernelGrid(blocks=64, threads=64, alpha=2)
+        with pytest.raises(ConfigError):
+            simulate_stage1(s0, s1, scheme, big, GTX_285)
+
+
+class TestBlockPruning:
+    """Block pruning (CUDAlign 3.0's stage-1 optimization) must skip real
+    work on similar sequences without ever changing the best score."""
+
+    def near_identical(self, rng, size=512):
+        from repro.sequences.synth import MutationProfile, homologous_pair
+        return homologous_pair(
+            size, rng, profile=MutationProfile(substitution=0.01,
+                                               insertion=0.002,
+                                               deletion=0.002))
+
+    def test_score_unchanged_with_pruning(self, rng, scheme):
+        s0, s1 = self.near_identical(rng)
+        plain = simulate_stage1(s0, s1, scheme, GRID, GTX_285)
+        pruned = simulate_stage1(s0, s1, scheme, GRID, GTX_285, prune=True)
+        assert pruned.best == plain.best
+
+    def test_similar_pair_prunes_substantially(self, rng):
+        from repro.align.scoring import PAPER_SCHEME
+        s0, s1 = self.near_identical(rng)
+        sim = simulate_stage1(s0, s1, PAPER_SCHEME, GRID, GTX_285,
+                              prune=True)
+        # CUDAlign 3.0 reports ~50% pruned on chromosome-scale similar
+        # pairs; the small-scale analogue must already skip a clear chunk.
+        assert sim.pruned_fraction > 0.25
+        assert sim.cells < 512 * 480 * 0.9
+
+    def test_unrelated_pair_prunes_little(self, rng, scheme):
+        s0, s1 = make_pair(rng, 256, 256, related=False)
+        sim = simulate_stage1(s0, s1, scheme, GRID, GTX_285, prune=True)
+        assert sim.best == simulate_stage1(s0, s1, scheme, GRID,
+                                           GTX_285).best
+        assert sim.pruned_fraction < 0.3
+
+    def test_pruning_rejects_flushing(self, rng, scheme):
+        s0, s1 = make_pair(rng, 64, 64)
+        with pytest.raises(ConfigError, match="pruning"):
+            simulate_stage1(s0, s1, scheme, GRID, GTX_285,
+                            sra_bytes=10**6, prune=True)
+
+    def test_disabled_by_default(self, rng, scheme):
+        s0, s1 = make_pair(rng, 64, 64)
+        sim = simulate_stage1(s0, s1, scheme, GRID, GTX_285)
+        assert sim.pruned_tiles == 0
+        assert sim.pruned_fraction == 0.0

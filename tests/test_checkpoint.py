@@ -1,0 +1,147 @@
+"""Stage-1 checkpointing: crash, resume, identical results."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, StorageError
+from repro.align.rowscan import RowSweeper
+from repro.core import run_stage1, small_config
+from repro.core.checkpoint import (
+    clear_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.core.stage1 import ROWS_NS
+from repro.storage.sra import SpecialLineStore
+
+from tests.conftest import make_pair
+
+
+class TestSweeperState:
+    def test_state_round_trip(self, rng, scheme):
+        s0, s1 = make_pair(rng, 60, 70)
+        a = RowSweeper(s0.codes, s1.codes, scheme, local=True,
+                       track_best=True)
+        a.advance(25)
+        state = a.state_dict()
+        b = RowSweeper(s0.codes, s1.codes, scheme, local=True,
+                       track_best=True)
+        b.load_state(state)
+        a.run()
+        b.run()
+        np.testing.assert_array_equal(a.H, b.H)
+        assert a.best == b.best and a.cells == b.cells
+
+    def test_bad_state_rejected(self, rng, scheme):
+        s0, s1 = make_pair(rng, 10, 10)
+        sweep = RowSweeper(s0.codes, s1.codes, scheme, local=True)
+        with pytest.raises(ConfigError):
+            sweep.load_state({"i": 99, "cells": 0, "H": sweep.H,
+                              "E": sweep.E, "F": sweep.F, "best": 0,
+                              "best_i": 0, "best_j": 0})
+        with pytest.raises(ConfigError):
+            sweep.load_state({"i": 1, "cells": 0,
+                              "H": np.zeros(3, np.int32),
+                              "E": np.zeros(3, np.int32),
+                              "F": np.zeros(3, np.int32),
+                              "best": 0, "best_i": 0, "best_j": 0})
+
+
+class TestCheckpointFiles:
+    def test_file_round_trip(self, tmp_path, rng, scheme):
+        s0, s1 = make_pair(rng, 50, 60)
+        sweep = RowSweeper(s0.codes, s1.codes, scheme, local=True,
+                           track_best=True)
+        sweep.advance(20)
+        path = tmp_path / "s1.ckpt"
+        save_checkpoint(path, sweep, 50, 60)
+        state = load_checkpoint(path, 50, 60)
+        assert int(state["i"]) == 20
+
+    def test_missing_returns_none(self, tmp_path):
+        assert load_checkpoint(tmp_path / "nope.ckpt", 5, 5) is None
+
+    def test_wrong_comparison_rejected(self, tmp_path, rng, scheme):
+        s0, s1 = make_pair(rng, 50, 60)
+        sweep = RowSweeper(s0.codes, s1.codes, scheme, local=True)
+        path = tmp_path / "s1.ckpt"
+        save_checkpoint(path, sweep, 50, 60)
+        with pytest.raises(StorageError, match="belongs to"):
+            load_checkpoint(path, 99, 60)
+
+    def test_clear(self, tmp_path, rng, scheme):
+        s0, s1 = make_pair(rng, 20, 20)
+        sweep = RowSweeper(s0.codes, s1.codes, scheme, local=True)
+        path = tmp_path / "s1.ckpt"
+        save_checkpoint(path, sweep, 20, 20)
+        clear_checkpoint(path)
+        assert load_checkpoint(path, 20, 20) is None
+        clear_checkpoint(path)  # idempotent
+
+
+class TestStage1Resume:
+    def crash_then_resume(self, rng, tmp_path, crash_after_rows):
+        s0, s1 = make_pair(rng, 320, 300)
+        config = small_config(block_rows=32, n=len(s1), sra_rows=5)
+        ckpt = str(tmp_path / "stage1.ckpt")
+
+        # Reference: uninterrupted run.
+        clean_sra = SpecialLineStore(config.sra_bytes)
+        clean = run_stage1(s0, s1, config, clean_sra)
+
+        # "Crashing" run: sweep partially, checkpointing as Stage 1 would,
+        # flushing the special rows seen so far.
+        sra = SpecialLineStore(config.sra_bytes)
+        from repro.storage.sra import SavedLine, special_row_positions
+        rows = special_row_positions(len(s0), len(s1),
+                                     config.grid1.block_rows,
+                                     config.sra_bytes)
+        sweep = RowSweeper(s0.codes, s1.codes, config.scheme, local=True,
+                           track_best=True, save_rows=rows)
+        sweep.advance(crash_after_rows)
+        for r in sorted(sweep.saved):
+            h, f = sweep.saved.pop(r)
+            sra.save(ROWS_NS, SavedLine(axis="row", position=r, lo=0,
+                                        H=h, G=f))
+        save_checkpoint(ckpt, sweep, len(s0), len(s1))
+
+        # Resume through the real Stage 1 entry point.
+        resumed = run_stage1(s0, s1, config, sra, checkpoint_path=ckpt,
+                             checkpoint_every_rows=64)
+        return clean, resumed, clean_sra, sra
+
+    def test_resume_identical_result(self, rng, tmp_path):
+        clean, resumed, clean_sra, sra = self.crash_then_resume(
+            rng, tmp_path, crash_after_rows=150)
+        assert resumed.resumed_from_row == 150
+        assert resumed.best_score == clean.best_score
+        assert resumed.end_point == clean.end_point
+        assert resumed.special_rows == clean.special_rows
+        for r in clean.special_rows:
+            a = clean_sra.load(ROWS_NS, r)
+            b = sra.load(ROWS_NS, r)
+            np.testing.assert_array_equal(a.H, b.H)
+            np.testing.assert_array_equal(a.G, b.G)
+
+    def test_resume_at_block_boundary(self, rng, tmp_path):
+        clean, resumed, *_ = self.crash_then_resume(
+            rng, tmp_path, crash_after_rows=160)  # exactly 5 block rows
+        assert resumed.best_score == clean.best_score
+
+    def test_checkpoint_cleared_after_completion(self, rng, tmp_path):
+        self.crash_then_resume(rng, tmp_path, crash_after_rows=100)
+        assert load_checkpoint(tmp_path / "stage1.ckpt", 320, 300) is None
+
+    def test_pipeline_level_checkpointing(self, rng, tmp_path):
+        from repro.core import CUDAlign
+        s0, s1 = make_pair(rng, 300, 300)
+        config = small_config(block_rows=32, n=len(s1), sra_rows=4,
+                              checkpoint_every_rows=64)
+        result = CUDAlign(config, workdir=tmp_path).run(s0, s1,
+                                                        visualize=False)
+        plain = CUDAlign(small_config(block_rows=32, n=len(s1),
+                                      sra_rows=4)).run(s0, s1,
+                                                       visualize=False)
+        assert result.best_score == plain.best_score

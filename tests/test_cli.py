@@ -1,0 +1,128 @@
+"""CLI end-to-end tests (the `cudalign` entry point)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.sequences import homologous_pair, write_fasta
+from repro.storage import BinaryAlignment
+
+
+@pytest.fixture
+def fasta_pair(tmp_path):
+    rng = np.random.default_rng(11)
+    s0, s1 = homologous_pair(700, rng, names=("chrA", "chrB"))
+    p0 = tmp_path / "a.fasta"
+    p1 = tmp_path / "b.fasta"
+    write_fasta(p0, s0)
+    write_fasta(p1, s1)
+    return str(p0), str(p1), s0, s1
+
+
+class TestAlign:
+    def test_align_reports_score(self, fasta_pair, capsys):
+        p0, p1, _, _ = fasta_pair
+        rc = main(["align", p0, p1, "--block-rows", "32", "--sra-rows", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best score:" in out
+        assert "crosspoints:" in out
+
+    def test_align_writes_artifacts(self, fasta_pair, tmp_path, capsys):
+        p0, p1, s0, s1 = fasta_pair
+        bin_path = tmp_path / "aln.bin"
+        svg_path = tmp_path / "aln.svg"
+        rc = main(["align", p0, p1, "--block-rows", "32",
+                   "--binary-out", str(bin_path), "--svg-out", str(svg_path)])
+        assert rc == 0
+        blob = bin_path.read_bytes()
+        binary = BinaryAlignment.decode(blob)
+        rebuilt = binary.reconstruct()
+        assert rebuilt.end[0] <= len(s0)
+        assert svg_path.read_text().startswith("<svg")
+
+    def test_align_custom_scoring(self, fasta_pair, capsys):
+        p0, p1, _, _ = fasta_pair
+        rc = main(["align", p0, p1, "--block-rows", "32",
+                   "--match", "2", "--mismatch", "-1",
+                   "--gap-first", "3", "--gap-ext", "1"])
+        assert rc == 0
+        assert "best score:" in capsys.readouterr().out
+
+    def test_align_paper_grids(self, fasta_pair, capsys):
+        p0, p1, _, _ = fasta_pair
+        rc = main(["align", p0, p1, "--paper-grids"])
+        assert rc == 0
+
+    def test_align_no_hit(self, tmp_path, capsys):
+        a = tmp_path / "a.fasta"
+        b = tmp_path / "b.fasta"
+        a.write_text(">a\n" + "A" * 300 + "\n")
+        b.write_text(">b\n" + "T" * 300 + "\n")
+        rc = main(["align", str(a), str(b), "--block-rows", "32"])
+        assert rc == 0
+        assert "no positive-score alignment" in capsys.readouterr().out
+
+
+class TestViewAndTools:
+    def test_view_round_trip(self, fasta_pair, tmp_path, capsys):
+        p0, p1, _, _ = fasta_pair
+        bin_path = tmp_path / "aln.bin"
+        main(["align", p0, p1, "--block-rows", "32",
+              "--binary-out", str(bin_path)])
+        capsys.readouterr()
+        rc = main(["view", str(bin_path), p0, p1, "--width", "40"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Alignment of" in out
+        assert "chrA" in out
+
+    def test_catalog_lists_entries(self, capsys):
+        rc = main(["catalog", "--scale", "4096"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "32799Kx46944K" in out and "near-identical" in out
+
+    def test_synth_writes_fasta(self, tmp_path, capsys):
+        o0 = tmp_path / "s0.fa"
+        o1 = tmp_path / "s1.fa"
+        rc = main(["synth", "162Kx172K", str(o0), str(o1),
+                   "--scale", "8192", "--seed", "3"])
+        assert rc == 0
+        assert o0.read_text().startswith(">")
+        assert "wrote" in capsys.readouterr().out
+
+    def test_synth_unknown_key(self, tmp_path):
+        from repro.errors import SequenceError
+        with pytest.raises(SequenceError):
+            main(["synth", "bogus", str(tmp_path / "a"), str(tmp_path / "b")])
+
+    def test_missing_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_scan(self, tmp_path, capsys):
+        rng = np.random.default_rng(4)
+        from repro.sequences import mutate, random_dna, MutationProfile
+        query = random_dna(80, rng, "query")
+        subjects = [random_dna(90, rng, f"s{k}") for k in range(6)]
+        subjects[3] = mutate(query, MutationProfile(substitution=0.05,
+                                                    insertion=0, deletion=0),
+                             rng, "hit")
+        write_fasta(tmp_path / "q.fa", query)
+        write_fasta(tmp_path / "db.fa", *subjects)
+        rc = main(["scan", str(tmp_path / "q.fa"), str(tmp_path / "db.fa"),
+                   "--top", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[1].split()[-1] == "hit"
+
+    def test_pack(self, fasta_pair, tmp_path, capsys):
+        p0, _, s0, _ = fasta_pair
+        out = tmp_path / "a.seq"
+        rc = main(["pack", p0, str(out)])
+        assert rc == 0
+        from repro.sequences import open_packed
+        assert len(open_packed(out)) == len(s0)

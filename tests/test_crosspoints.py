@@ -1,0 +1,105 @@
+"""Crosspoint and partition invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import TYPE_GAP_S0, TYPE_GAP_S1, TYPE_MATCH
+from repro.errors import PartitionError
+from repro.core.crosspoints import Crosspoint, CrosspointChain, Partition
+
+
+def cp(i, j, score, type=TYPE_MATCH):
+    return Crosspoint(i, j, score, type)
+
+
+class TestCrosspoint:
+    def test_valid(self):
+        point = cp(3, 4, 10, TYPE_GAP_S1)
+        assert (point.i, point.j, point.score, point.type) == (3, 4, 10, 2)
+
+    def test_negative_coords_rejected(self):
+        with pytest.raises(PartitionError):
+            cp(-1, 0, 0)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(PartitionError):
+            cp(0, 0, 0, 5)
+
+    def test_ordering(self):
+        assert cp(1, 2, 0) < cp(2, 1, 0)
+
+
+class TestPartition:
+    def test_geometry(self):
+        p = Partition(cp(2, 3, 5), cp(10, 7, 20))
+        assert (p.height, p.width) == (8, 4)
+        assert p.max_dim == 8
+        assert p.area == 32
+        assert p.score == 15
+        assert not p.degenerate
+
+    def test_degenerate(self):
+        p = Partition(cp(2, 3, 5), cp(2, 9, 1))
+        assert p.degenerate and p.height == 0
+
+    def test_reversed_rejected(self):
+        with pytest.raises(PartitionError):
+            Partition(cp(5, 5, 0), cp(4, 9, 0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(PartitionError):
+            Partition(cp(5, 5, 0), cp(5, 5, 1))
+
+
+class TestChain:
+    def chain(self):
+        return CrosspointChain([
+            cp(0, 0, 0), cp(4, 5, 7, TYPE_GAP_S1), cp(9, 9, 4), cp(12, 20, 30),
+        ])
+
+    def test_partitions(self):
+        parts = self.chain().partitions()
+        assert len(parts) == 3
+        assert parts[0].score == 7
+        assert parts[1].score == -3  # scores may dip between crosspoints
+        assert self.chain().best_score == 30
+
+    def test_max_partition_dim(self):
+        assert self.chain().max_partition_dim() == 11
+
+    def test_too_short_rejected(self):
+        with pytest.raises(PartitionError):
+            CrosspointChain([cp(0, 0, 0)])
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(PartitionError, match="monotone"):
+            CrosspointChain([cp(0, 0, 0), cp(5, 5, 1), cp(4, 9, 2)])
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(PartitionError, match="duplicate"):
+            CrosspointChain([cp(0, 0, 0), cp(5, 5, 1), cp(5, 5, 2)])
+
+    def test_typed_endpoints_rejected(self):
+        with pytest.raises(PartitionError, match="type 0"):
+            CrosspointChain([cp(0, 0, 0, TYPE_GAP_S0), cp(5, 5, 1)])
+
+    def test_nonzero_start_score_rejected(self):
+        with pytest.raises(PartitionError, match="score 0"):
+            CrosspointChain([cp(0, 0, 3), cp(5, 5, 9)])
+
+    def test_refine_inserts_points(self):
+        refined = self.chain().refine(0, [cp(2, 2, 3)])
+        assert len(refined) == 5
+        assert refined[1] == cp(2, 2, 3)
+
+    def test_refine_bad_index(self):
+        with pytest.raises(PartitionError):
+            self.chain().refine(99, [])
+
+    def test_merged_skips_shared_endpoints(self):
+        merged = CrosspointChain.merged([
+            [cp(0, 0, 0), cp(3, 3, 5)],
+            [cp(3, 3, 5), cp(8, 8, 11)],
+        ])
+        assert len(merged) == 3

@@ -1,0 +1,98 @@
+"""Database-scan baseline: batch scores vs the pairwise reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.align import reference
+from repro.align.scoring import PAPER_SCHEME
+from repro.baselines import scan_database
+from repro.sequences import MutationProfile, Sequence, mutate, random_dna
+
+from tests.conftest import SCHEMES
+
+
+def make_db(rng, count=12, lo=20, hi=80):
+    return [random_dna(int(rng.integers(lo, hi)), rng, name=f"subj{k}")
+            for k in range(count)]
+
+
+class TestScanCorrectness:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_every_score_matches_pairwise(self, rng, scheme):
+        query = random_dna(50, rng, "query")
+        db = make_db(rng)
+        result = scan_database(query, db, scheme, top=len(db))
+        got = {hit.index: hit.score for hit in result.hits}
+        for k, subject in enumerate(db):
+            assert got[k] == reference.sw_score(query, subject, scheme), k
+
+    def test_planted_hit_ranks_first(self, rng):
+        query = random_dna(60, rng, "query")
+        db = make_db(rng, count=20)
+        # Plant a mutated copy of the query.
+        planted = mutate(query, MutationProfile(substitution=0.05,
+                                                insertion=0, deletion=0),
+                         rng, name="planted")
+        db.append(planted)
+        result = scan_database(query, db, PAPER_SCHEME, top=3)
+        assert result.best.name == "planted"
+        assert result.best.score > 30
+
+    def test_ragged_lengths_padding_safe(self, rng):
+        query = random_dna(30, rng)
+        db = [Sequence.from_text("A"), random_dna(200, rng),
+              Sequence.from_text("ACGT")]
+        result = scan_database(query, db, PAPER_SCHEME, top=3)
+        for hit in result.hits:
+            assert hit.score == reference.sw_score(query, db[hit.index],
+                                                   PAPER_SCHEME)
+
+    def test_n_query_bases(self, rng):
+        query = Sequence.from_text("ACGTNNNNACGT")
+        db = make_db(rng, count=5)
+        result = scan_database(query, db, PAPER_SCHEME, top=5)
+        for hit in result.hits:
+            assert hit.score == reference.sw_score(query, db[hit.index],
+                                                   PAPER_SCHEME)
+
+    @settings(max_examples=20, deadline=None)
+    @given(qt=st.text(alphabet="ACGT", min_size=1, max_size=25),
+           subjects=st.lists(st.text(alphabet="ACGTN", min_size=1,
+                                     max_size=30), min_size=1, max_size=6))
+    def test_property_batch_equals_pairwise(self, qt, subjects):
+        query = Sequence.from_text(qt)
+        db = [Sequence.from_text(t, name=str(k))
+              for k, t in enumerate(subjects)]
+        result = scan_database(query, db, PAPER_SCHEME, top=len(db))
+        for hit in result.hits:
+            assert hit.score == reference.sw_score(query, db[hit.index],
+                                                   PAPER_SCHEME)
+
+
+class TestScanApi:
+    def test_top_limits_hits(self, rng):
+        query = random_dna(30, rng)
+        result = scan_database(query, make_db(rng, count=9), PAPER_SCHEME,
+                               top=4)
+        assert len(result.hits) == 4
+        scores = [h.score for h in result.hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_cells_counted(self, rng):
+        query = random_dna(10, rng)
+        db = [random_dna(7, rng), random_dna(13, rng)]
+        result = scan_database(query, db, PAPER_SCHEME)
+        assert result.cells == 10 * 20
+        assert result.mcups > 0
+
+    def test_validation(self, rng):
+        query = random_dna(10, rng)
+        with pytest.raises(ConfigError):
+            scan_database(query, [], PAPER_SCHEME)
+        with pytest.raises(ConfigError):
+            scan_database(query, make_db(rng, 2), PAPER_SCHEME, top=0)

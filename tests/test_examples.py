@@ -1,0 +1,49 @@
+"""Smoke tests: every example script must run end to end.
+
+Run in-process (not via subprocess) so coverage and failures are
+attributable; stdout is captured by pytest.  The chromosome example takes
+a size argument, which we shrink for test latency.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart",
+    "sra_tradeoff",
+    "cluster_vs_gpu",
+    "visualize_alignment",
+    "linear_space_toolbox",
+])
+def test_example_runs(name, capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # examples write SVGs to the cwd
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100  # every example narrates its results
+
+
+def test_chromosome_example_runs(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    module = load_example("chromosome_comparison")
+    module.main(scale=16384)
+    out = capsys.readouterr().out
+    assert "Table X analogue" in out
+    assert "best score" in out
+    assert (tmp_path / "chromosome_alignment.svg").exists()

@@ -1,0 +1,118 @@
+"""Failure injection: corrupted storage and inconsistent inputs must be
+caught by the pipeline's invariant checks, never silently mis-align."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.constants import TYPE_MATCH
+from repro.errors import MatchingError, PartitionError, StorageError
+from repro.core import (
+    Crosspoint,
+    CrosspointChain,
+    run_stage1,
+    run_stage2,
+    run_stage3,
+    run_stage5,
+    small_config,
+)
+from repro.core.stage1 import ROWS_NS
+from repro.storage.sra import SavedLine, SpecialLineStore
+
+from tests.conftest import make_pair
+
+
+@pytest.fixture
+def setup(rng):
+    s0, s1 = make_pair(rng, 300, 280)
+    config = small_config(block_rows=32, n=len(s1), sra_rows=5)
+    sra = SpecialLineStore(config.sra_bytes)
+    sca = SpecialLineStore(config.sca_bytes)
+    stage1 = run_stage1(s0, s1, config, sra)
+    return s0, s1, config, sra, sca, stage1
+
+
+def corrupt_line(store: SpecialLineStore, namespace: str, position: int,
+                 delta: int = -10_007) -> None:
+    """Shift every stored value so no goal equality can ever hold."""
+    line = store.load(namespace, position)
+    # Replace in place through the private map (test-only surgery).
+    store._lines[(namespace, position)] = SavedLine(
+        axis=line.axis, position=line.position, lo=line.lo,
+        H=line.H + np.int32(delta), G=line.G + np.int32(delta))
+
+
+class TestCorruptedSRA:
+    def test_corrupted_special_row_never_mis_scores(self, setup):
+        # A corrupted row either trips the matching invariant or — when an
+        # equally-scoring alignment start exists inside the band — Stage 2
+        # legitimately short-circuits; it must never emit a chain that
+        # fails to bracket the true best score.
+        s0, s1, config, sra, sca, stage1 = setup
+        rows = sra.positions(ROWS_NS)
+        assert rows
+        corrupt_line(sra, ROWS_NS, rows[len(rows) // 2])
+        try:
+            stage2 = run_stage2(s0, s1, config, sra, sca, stage1)
+        except MatchingError:
+            return
+        chain = CrosspointChain(stage2.crosspoints)
+        assert chain.end.score == stage1.best_score
+        assert chain.start.score == 0
+
+    def test_corrupted_special_column_detected(self, setup):
+        s0, s1, config, sra, sca, stage1 = setup
+        stage2 = run_stage2(s0, s1, config, sra, sca, stage1)
+        bands = [b for b in stage2.bands if b.column_positions]
+        if not bands:
+            pytest.skip("no special columns saved for this input")
+        band = bands[0]
+        corrupt_line(sca, band.namespace, band.column_positions[0])
+        with pytest.raises(MatchingError):
+            run_stage3(s0, s1, config, sca, stage2)
+
+
+class TestInconsistentChains:
+    def test_wrong_best_score_detected(self, setup):
+        s0, s1, config, sra, sca, stage1 = setup
+        bogus = dataclasses.replace(
+            stage1, best_score=stage1.best_score + 1,
+            end_point=Crosspoint(stage1.end_point.i, stage1.end_point.j,
+                                 stage1.best_score + 1, TYPE_MATCH))
+        with pytest.raises(MatchingError):
+            run_stage2(s0, s1, config, sra, sca, bogus)
+
+    def test_stage5_rejects_fabricated_partition_scores(self, setup):
+        s0, s1, config, *_ = setup
+        chain = CrosspointChain([
+            Crosspoint(0, 0, 0),
+            Crosspoint(10, 10, 99),   # fabricated score
+            Crosspoint(20, 20, 120),
+        ])
+        small = dataclasses.replace(config, max_partition_size=32)
+        with pytest.raises(PartitionError):
+            run_stage5(s0, s1, small, chain)
+
+
+class TestStorageFaults:
+    def test_disk_file_deletion_detected(self, tmp_path, rng):
+        store = SpecialLineStore(10**6, directory=tmp_path)
+        line = SavedLine(axis="row", position=8, lo=0,
+                         H=np.arange(5, dtype=np.int32),
+                         G=np.zeros(5, dtype=np.int32))
+        store.save("x", line)
+        (tmp_path / "x" / "8.bin").unlink()
+        with pytest.raises(FileNotFoundError):
+            store.load("x", 8)
+
+    def test_budget_never_exceeded_under_pressure(self, rng):
+        s0, s1 = make_pair(rng, 400, 400)
+        # A budget holding exactly one row: the flush law must adapt.
+        config = small_config(block_rows=32, n=len(s1), sra_rows=1)
+        sra = SpecialLineStore(config.sra_bytes)
+        run_stage1(s0, s1, config, sra)
+        assert sra.bytes_used <= config.sra_bytes
+        assert len(sra.positions(ROWS_NS)) <= 1

@@ -1,0 +1,102 @@
+"""Direct tests of the Myers-Miller midpoint finder (the Stage-4 core)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import TYPE_GAP_S0, TYPE_GAP_S1, TYPE_MATCH
+from repro.errors import MatchingError
+from repro.align import reference
+from repro.align.myers_miller import MMConfig, MMStats, find_midpoint
+from repro.align.scoring import PAPER_SCHEME
+from repro.sequences.sequence import Sequence
+
+from tests.conftest import SCHEMES, make_pair
+
+dna = st.text(alphabet="ACGT", min_size=2, max_size=48)
+gap_states = st.sampled_from([TYPE_MATCH, TYPE_GAP_S0, TYPE_GAP_S1])
+
+
+def ref_goal(s0, s1, scheme, start, end):
+    return reference.global_score(s0, s1, scheme, start_gap=start,
+                                  end_gap=end)
+
+
+def check_split(s0, s1, scheme, start, end, r, j, join, top_value):
+    """The split must decompose the optimum additively.
+
+    Empty-sided sub-rectangles (j == 0 or j == n) are pure gap runs whose
+    value the reference cannot express; the other half then pins the total.
+    """
+    whole = ref_goal(s0, s1, scheme, start, end)
+    if j > 0:
+        assert top_value == ref_goal(s0[:r], s1[:j], scheme, start, join)
+    if j < len(s1):
+        assert whole - top_value == ref_goal(s0[r:], s1[j:], scheme,
+                                             join, end)
+
+
+class TestFindMidpoint:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_split_decomposes_optimum(self, rng, scheme):
+        s0, s1 = make_pair(rng, 24, 30)
+        goal = ref_goal(s0, s1, scheme, TYPE_MATCH, TYPE_MATCH)
+        r, j, join, top_value = find_midpoint(
+            s0.codes, s1.codes, scheme, goal=goal,
+            config=MMConfig(orthogonal=False))
+        assert r == 12
+        check_split(s0, s1, scheme, TYPE_MATCH, TYPE_MATCH,
+                    r, j, join, top_value)
+
+    def test_orthogonal_equals_full_value(self, rng, scheme):
+        s0, s1 = make_pair(rng, 30, 40)
+        goal = ref_goal(s0, s1, scheme, TYPE_MATCH, TYPE_MATCH)
+        r1, j1, join1, v1 = find_midpoint(
+            s0.codes, s1.codes, scheme, goal=goal,
+            config=MMConfig(orthogonal=False))
+        r2, j2, join2, v2 = find_midpoint(
+            s0.codes, s1.codes, scheme, goal=goal,
+            config=MMConfig(orthogonal=True, strip=4))
+        # Both must decompose the same optimum (possibly at different
+        # tie-equivalent columns).
+        check_split(s0, s1, scheme, TYPE_MATCH, TYPE_MATCH, r1, j1, join1, v1)
+        check_split(s0, s1, scheme, TYPE_MATCH, TYPE_MATCH, r2, j2, join2, v2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(t0=dna, t1=dna, start=gap_states, end=gap_states)
+    def test_property_boundary_states(self, t0, t1, start, end):
+        s0, s1 = Sequence.from_text(t0), Sequence.from_text(t1)
+        goal = ref_goal(s0, s1, PAPER_SCHEME, start, end)
+        r, j, join, top_value = find_midpoint(
+            s0.codes, s1.codes, PAPER_SCHEME, start_gap=start, end_gap=end,
+            goal=goal, config=MMConfig(orthogonal=True, strip=3))
+        assert 0 <= j <= len(s1)
+        assert join in (TYPE_MATCH, TYPE_GAP_S1)
+        check_split(s0, s1, PAPER_SCHEME, start, end, r, j, join, top_value)
+
+    def test_wrong_goal_raises(self, rng, scheme):
+        s0, s1 = make_pair(rng, 20, 20)
+        goal = ref_goal(s0, s1, scheme, TYPE_MATCH, TYPE_MATCH)
+        with pytest.raises(MatchingError):
+            find_midpoint(s0.codes, s1.codes, scheme, goal=goal + 3,
+                          config=MMConfig(orthogonal=False))
+        with pytest.raises(MatchingError):
+            find_midpoint(s0.codes, s1.codes, scheme, goal=goal + 3,
+                          config=MMConfig(orthogonal=True))
+
+    def test_requires_two_rows(self, scheme):
+        with pytest.raises(MatchingError):
+            find_midpoint(np.zeros(1, np.uint8), np.zeros(5, np.uint8),
+                          scheme)
+
+    def test_stats_accumulate(self, rng, scheme):
+        s0, s1 = make_pair(rng, 40, 40)
+        stats = MMStats()
+        goal = ref_goal(s0, s1, scheme, TYPE_MATCH, TYPE_MATCH)
+        find_midpoint(s0.codes, s1.codes, scheme, goal=goal, stats=stats,
+                      config=MMConfig(orthogonal=True, strip=8))
+        assert stats.cells_forward == 20 * 40
+        assert 0 < stats.cells_reverse <= 20 * 40

@@ -1,0 +1,142 @@
+"""Simulated device: grid geometry, block shrinking, performance model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, DeviceError
+from repro.gpusim import (
+    GTX_285,
+    PENTIUM_DUALCORE,
+    DeviceSpec,
+    KernelGrid,
+    SweepGeometry,
+    effective_blocks,
+    grid_rate_gcups,
+    host_seconds,
+    stage1_vram_bytes,
+    sweep_cost,
+)
+
+STAGE1_GRID = KernelGrid(blocks=240, threads=64, alpha=4)  # the paper's B1/T1
+STAGE3_GRID = KernelGrid(blocks=60, threads=128, alpha=4)
+
+
+class TestKernelGrid:
+    def test_block_rows(self):
+        assert STAGE1_GRID.block_rows == 256
+
+    def test_minimum_width(self):
+        assert STAGE3_GRID.minimum_width == 2 * 60 * 128
+
+    def test_invalid_grid(self):
+        with pytest.raises(ConfigError):
+            KernelGrid(blocks=0, threads=1)
+
+
+class TestEffectiveBlocks:
+    @pytest.mark.parametrize("width,expected", [
+        # Table VIII: W_max -> B3 for T3 = 128 on the GTX 285 (30 SMs).
+        (56320, 60),
+        (14336, 30),
+        (6656, 26),
+        (3684, 14),
+        (2624, 10),
+    ])
+    def test_reproduces_table8_b3(self, width, expected):
+        assert effective_blocks(60, 128, width, GTX_285) == expected
+
+    def test_never_below_one(self):
+        assert effective_blocks(60, 128, 1, GTX_285) == 1
+
+    def test_rounds_to_multiprocessor_multiple(self):
+        # 100 blocks fit, but 90 is the largest multiple of 30.
+        assert effective_blocks(240, 64, 100 * 2 * 64, GTX_285) == 90
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigError):
+            effective_blocks(60, 128, 0, GTX_285)
+
+
+class TestSweepGeometry:
+    def test_external_diagonals_cover_grid(self):
+        geo = SweepGeometry(1024, 10**6, STAGE1_GRID)
+        assert geo.block_row_count == 4
+        assert geo.external_diagonals == 4 + 240 - 1
+
+    def test_bus_traffic_positive(self):
+        geo = SweepGeometry(1024, 4096, KernelGrid(8, 16, 2))
+        assert geo.horizontal_bus_bytes > 0
+        assert geo.vertical_bus_bytes > 0
+
+    def test_invalid_area(self):
+        with pytest.raises(ConfigError):
+            SweepGeometry(0, 10, STAGE1_GRID)
+
+
+class TestPerformanceModel:
+    def test_saturated_rate_is_peak(self):
+        assert grid_rate_gcups(STAGE1_GRID, GTX_285) == GTX_285.peak_gcups
+
+    def test_starved_grid_derated(self):
+        tiny = KernelGrid(blocks=10, threads=128, alpha=4)
+        rate = grid_rate_gcups(tiny, GTX_285)
+        assert rate == pytest.approx(
+            GTX_285.peak_gcups * 1280 / GTX_285.saturation_threads)
+        # The paper's Stage-2 grid (B2=60, T2=128) is NOT starved: Table
+        # VIII's Cells_2 over Table VII's Stage-2 time implies ~24 GCUPS.
+        stage2 = KernelGrid(blocks=60, threads=128, alpha=4)
+        assert grid_rate_gcups(stage2, GTX_285) == GTX_285.peak_gcups
+
+    def test_stage1_paper_scale_runtime(self):
+        # The 33M x 47M comparison ran Stage 1 in 64507 s without flush
+        # (Table IV).  The model must land within a few percent.
+        m, n = 32_799_110, 46_944_323
+        cost = sweep_cost(m, n, STAGE1_GRID, GTX_285)
+        assert cost.seconds == pytest.approx(64507, rel=0.03)
+        assert cost.mcups == pytest.approx(23869, rel=0.03)
+
+    def test_small_sequence_mcups_ramp(self):
+        # Table IV: the 162K x 172K row reaches only ~19.8 GCUPS because
+        # diagonal overheads dominate short sweeps.
+        cost = sweep_cost(162_114, 171_823, STAGE1_GRID, GTX_285)
+        assert 17_000 < cost.mcups < 22_000
+        big = sweep_cost(5_227_293, 5_228_663, STAGE1_GRID, GTX_285)
+        assert big.mcups > cost.mcups  # rate grows with size (Figure 11)
+
+    def test_flush_overhead_about_one_percent(self):
+        # Table IV, chromosome row: 50 GB flushed adds ~650 s to 64507 s.
+        m, n = 32_799_110, 46_944_323
+        plain = sweep_cost(m, n, STAGE1_GRID, GTX_285)
+        flushed = sweep_cost(m, n, STAGE1_GRID, GTX_285,
+                             flushed_bytes=50 * 10**9)
+        overhead = (flushed.seconds - plain.seconds) / plain.seconds
+        assert 0.005 < overhead < 0.02
+
+    def test_gcups_requires_positive_time(self):
+        from repro.gpusim.perf import SweepCost
+        with pytest.raises(DeviceError):
+            _ = SweepCost(1, 1, 0, 0.0).gcups
+
+    def test_host_seconds_scales_with_threads(self):
+        one = host_seconds(10**9, PENTIUM_DUALCORE, threads=1)
+        two = host_seconds(10**9, PENTIUM_DUALCORE, threads=2)
+        assert one == pytest.approx(2 * two)
+        # Cannot exceed physical cores.
+        assert host_seconds(10**9, PENTIUM_DUALCORE, threads=16) == two
+
+    def test_host_negative_cells_rejected(self):
+        with pytest.raises(DeviceError):
+            host_seconds(-1, PENTIUM_DUALCORE)
+
+
+class TestVram:
+    def test_stage1_vram_chromosome_scale(self):
+        # Table VIII reports VRAM_1 = 435 MB for the chromosome run; the
+        # ledger (sequences + buses) must land in that ballpark.
+        got = stage1_vram_bytes(32_799_110, 46_944_323, STAGE1_GRID)
+        assert 350e6 < got < 520e6
+
+    def test_device_validation(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec("x", 0, 1, 1, 1, 1.0, 1.0, 1.0, 1)

@@ -1,0 +1,95 @@
+"""Multi-GPU extension: pipeline decomposition and its time model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, DeviceError
+from repro.align import reference
+from repro.gpusim import (
+    GTX_285,
+    KernelGrid,
+    MultiGpuSystem,
+    multi_gpu_sweep_cost,
+    multi_gpu_sweep_score,
+    stage4_gpu_estimate,
+    sweep_cost,
+)
+
+from tests.conftest import make_pair
+
+GRID = KernelGrid(240, 64, 4)
+
+
+class TestRealExecution:
+    @pytest.mark.parametrize("devices", [1, 2, 4])
+    def test_sliced_sweep_is_exact(self, rng, scheme, devices):
+        s0, s1 = make_pair(rng, 90, 120)
+        system = MultiGpuSystem(GTX_285, devices)
+        score = multi_gpu_sweep_score(s0, s1, scheme, system, band_rows=16)
+        assert score == reference.sw_score(s0, s1, scheme)
+
+    def test_too_many_devices(self, rng, scheme):
+        s0, s1 = make_pair(rng, 10, 4)
+        with pytest.raises(ConfigError):
+            multi_gpu_sweep_score(s0, s1, scheme,
+                                  MultiGpuSystem(GTX_285, 8))
+
+
+class TestTimeModel:
+    def test_dual_card_near_double(self):
+        m, n = 32_799_110, 46_944_323
+        dual = multi_gpu_sweep_cost(m, n, GRID, MultiGpuSystem(GTX_285, 2))
+        assert 1.7 < dual.speedup_vs_one <= 2.0
+        assert 0.85 < dual.efficiency <= 1.0
+
+    def test_quad_card_efficiency_drops(self):
+        m, n = 32_799_110, 46_944_323
+        dual = multi_gpu_sweep_cost(m, n, GRID, MultiGpuSystem(GTX_285, 2))
+        quad = multi_gpu_sweep_cost(m, n, GRID, MultiGpuSystem(GTX_285, 4))
+        assert quad.seconds < dual.seconds
+        assert quad.efficiency < dual.efficiency
+
+    def test_single_device_matches_sweep_cost(self):
+        m, n = 5_227_293, 5_228_663
+        one = multi_gpu_sweep_cost(m, n, GRID, MultiGpuSystem(GTX_285, 1))
+        base = sweep_cost(m, n, GRID, GTX_285).seconds
+        assert one.seconds == pytest.approx(base, rel=0.01)
+        assert one.speedup_vs_one == pytest.approx(1.0, rel=0.01)
+
+    def test_transfer_accounted(self):
+        m, n = 32_799_110, 46_944_323
+        slow = MultiGpuSystem(GTX_285, 2, link_bytes_per_s=1e6)
+        fast = MultiGpuSystem(GTX_285, 2, link_bytes_per_s=1e12)
+        assert (multi_gpu_sweep_cost(m, n, GRID, slow).seconds
+                > multi_gpu_sweep_cost(m, n, GRID, fast).seconds)
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            MultiGpuSystem(GTX_285, 0)
+        with pytest.raises(DeviceError):
+            MultiGpuSystem(GTX_285, 2, link_bytes_per_s=0)
+        with pytest.raises(ConfigError):
+            multi_gpu_sweep_cost(0, 5, GRID, MultiGpuSystem(GTX_285, 2))
+
+
+class TestStage4GpuEstimate:
+    def test_many_partitions_saturate(self):
+        fast = stage4_gpu_estimate(10**10, partitions=10_000, grid=GRID,
+                                   device=GTX_285)
+        assert fast == pytest.approx(10**10 / (GTX_285.peak_gcups * 1e9),
+                                     rel=0.01)
+
+    def test_few_partitions_starve(self):
+        few = stage4_gpu_estimate(10**10, partitions=2, grid=GRID,
+                                  device=GTX_285)
+        many = stage4_gpu_estimate(10**10, partitions=10_000, grid=GRID,
+                                   device=GTX_285)
+        assert few > 10 * many
+
+    def test_zero_cells(self):
+        assert stage4_gpu_estimate(0, 10, GRID, GTX_285) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            stage4_gpu_estimate(-1, 1, GRID, GTX_285)

@@ -1,0 +1,126 @@
+"""Numeric robustness: int32 headroom, NEG_INF arithmetic, long gap runs,
+N bases, and extreme scoring parameters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import NEG_INF, SCORE_DTYPE
+from repro.align import reference
+from repro.align.full_matrix import local_align
+from repro.align.rowscan import RowSweeper
+from repro.align.scoring import PAPER_SCHEME, ScoringScheme
+from repro.core import CUDAlign, small_config
+from repro.sequences.sequence import Sequence
+
+from tests.conftest import make_pair
+
+
+class TestInt32Headroom:
+    def test_neg_inf_never_wraps(self, rng):
+        # Long global sweep: NEG_INF cells drift by at most n * gap_ext,
+        # which must stay far from the int32 minimum.
+        s0, s1 = make_pair(rng, 4, 20_000, related=False)
+        sweep = RowSweeper(s0.codes, s1.codes, PAPER_SCHEME).run()
+        assert int(sweep.F.min()) > np.iinfo(np.int32).min // 2
+        assert int(sweep.H[-1]) > NEG_INF  # the corner is reachable
+
+    def test_long_identical_sequences_large_scores(self):
+        # 200k identical bases: score 200k, well inside int32 but big
+        # enough to catch byte-width mistakes.
+        s = Sequence(np.zeros(200_000, dtype=np.uint8))
+        sweep = RowSweeper(s.codes[:400], s.codes, PAPER_SCHEME, local=True,
+                           track_best=True).run()
+        assert sweep.best == 400
+
+    def test_score_dtype_is_int32(self, rng):
+        s0, s1 = make_pair(rng, 10, 10)
+        sweep = RowSweeper(s0.codes, s1.codes, PAPER_SCHEME, local=True).run()
+        assert sweep.H.dtype == SCORE_DTYPE == np.int32
+
+    def test_match_full_uses_int64_sums(self, rng):
+        # The midpoint matching adds two int32 vectors; values near
+        # NEG_INF would wrap in int32 — the implementation must widen.
+        from repro.align.myers_miller import _match_full
+        cc = np.full(5, NEG_INF, dtype=np.int64)
+        dd = np.full(5, NEG_INF, dtype=np.int64)
+        cc[2] = 10
+        rr = np.full(5, NEG_INF, dtype=np.int64)
+        ss = np.full(5, NEG_INF, dtype=np.int64)
+        rr[2] = 5
+        j, join, top = _match_full(cc, dd, rr, ss, gopen=3)
+        assert (j, join, top) == (2, 0, 10)
+
+
+class TestExtremeSchemes:
+    def test_zero_mismatch_penalty(self, rng):
+        scheme = ScoringScheme(match=1, mismatch=0, gap_first=2, gap_ext=1)
+        s0, s1 = make_pair(rng, 40, 40, related=False)
+        sweep = RowSweeper(s0.codes, s1.codes, scheme, local=True,
+                           track_best=True).run()
+        assert sweep.best == reference.sw_score(s0, s1, scheme)
+
+    def test_equal_gap_penalties_linear_model(self, rng):
+        # gap_first == gap_ext degenerates to the linear gap model; the
+        # scan trick's boundary case.
+        scheme = ScoringScheme(match=2, mismatch=-1, gap_first=3, gap_ext=3)
+        s0, s1 = make_pair(rng, 50, 50)
+        config = small_config(block_rows=16, n=len(s1), sra_rows=2,
+                              scheme=scheme, max_partition_size=8)
+        result = CUDAlign(config).run(s0, s1, visualize=False)
+        _, want = local_align(s0, s1, scheme)
+        assert result.best_score == want
+
+    def test_huge_gap_penalties(self, rng):
+        scheme = ScoringScheme(match=1, mismatch=-1, gap_first=10_000,
+                               gap_ext=9_999)
+        s0, s1 = make_pair(rng, 30, 30)
+        sweep = RowSweeper(s0.codes, s1.codes, scheme, local=True,
+                           track_best=True).run()
+        assert sweep.best == reference.sw_score(s0, s1, scheme)
+
+
+class TestNBases:
+    def test_n_runs_through_pipeline(self, rng):
+        # Sequences with masked stretches: N never matches, even itself.
+        s0, s1 = make_pair(rng, 200, 200)
+        codes0 = s0.codes.copy()
+        codes0[50:80] = 4  # N run
+        s0n = Sequence(codes0)
+        config = small_config(block_rows=16, n=len(s1), sra_rows=3)
+        result = CUDAlign(config).run(s0n, s1, visualize=False)
+        _, want = local_align(s0n, s1, config.scheme)
+        assert result.best_score == want
+
+    def test_all_n_scores_zero(self):
+        s = Sequence.from_text("N" * 100)
+        config = small_config(block_rows=16, n=100, sra_rows=2)
+        result = CUDAlign(config).run(s, s, visualize=False)
+        assert result.best_score == 0
+        assert result.alignment is None
+
+
+class TestDegenerateInputs:
+    def test_single_base_sequences(self):
+        a = Sequence.from_text("A")
+        config = small_config(block_rows=16, n=1, sra_rows=1)
+        result = CUDAlign(config).run(a, a, visualize=False)
+        assert result.best_score == 1
+        assert result.alignment.end == (1, 1)
+
+    def test_one_by_many(self, rng):
+        a = Sequence.from_text("G")
+        s1 = make_pair(rng, 1, 500, related=False)[1]
+        config = small_config(block_rows=16, n=len(s1), sra_rows=1)
+        result = CUDAlign(config).run(a, s1, visualize=False)
+        _, want = local_align(a, s1, config.scheme)
+        assert result.best_score == want
+
+    def test_many_by_one(self, rng):
+        s0 = make_pair(rng, 500, 1, related=False)[0]
+        b = Sequence.from_text("G")
+        config = small_config(block_rows=16, n=1, sra_rows=1)
+        result = CUDAlign(config).run(s0, b, visualize=False)
+        _, want = local_align(s0, b, config.scheme)
+        assert result.best_score == want

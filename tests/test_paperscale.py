@@ -1,0 +1,83 @@
+"""Paper-scale analytic estimates vs the paper's own Tables VII/VIII."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpusim import GTX_285, PENTIUM_DUALCORE, KernelGrid
+from repro.gpusim.paperscale import (
+    CHROMOSOME_GEOMETRY,
+    AlignmentGeometry,
+    estimate,
+)
+
+GRID = KernelGrid(60, 128, 4)
+
+#: SRA GB -> (stage2 s, stage3 s, stage4 s, Cells_2, |L_3|, W_max, B3)
+PAPER = {
+    10: (1721, 126, 8211, 3.83e13, 603, 56320, 60),
+    20: (1015, 111, 2098, 1.95e13, 2338, 14336, 30),
+    30: (851, 144, 974, 1.31e13, 5014, 6656, 26),
+    40: (818, 187, 525, 1.00e13, 9283, 3684, 14),
+    50: (805, 236, 376, 8.10e12, 12986, 2624, 10),
+}
+
+
+def run(gb):
+    return estimate(CHROMOSOME_GEOMETRY, gb * 10**9, grid2=GRID, grid3=GRID,
+                    device=GTX_285, host=PENTIUM_DUALCORE)
+
+
+class TestAgainstPaper:
+    @pytest.mark.parametrize("gb", sorted(PAPER))
+    def test_stage2_seconds_within_5_percent(self, gb):
+        want = PAPER[gb][0]
+        assert run(gb).seconds2 == pytest.approx(want, rel=0.05)
+
+    @pytest.mark.parametrize("gb", sorted(PAPER))
+    def test_cells2_within_6_percent(self, gb):
+        assert run(gb).cells2 == pytest.approx(PAPER[gb][3], rel=0.06)
+
+    @pytest.mark.parametrize("gb", sorted(PAPER))
+    def test_column_interval_tracks_wmax(self, gb):
+        assert run(gb).column_interval == pytest.approx(PAPER[gb][5],
+                                                        rel=0.20)
+
+    def test_stage3_nonmonotone_reproduced(self):
+        # Table VII's signature: Stage 3's runtime dips then *rises* as
+        # the SRA grows (B3 collapse under the minimum size requirement).
+        times = [run(gb).seconds3 for gb in sorted(PAPER)]
+        assert min(times) == times[1]  # dip at 20 GB, like the paper
+        assert times[-1] > times[1]
+        assert times[-1] == pytest.approx(PAPER[50][1], rel=0.10)
+
+    def test_stage4_decreasing_and_ordered(self):
+        times = [run(gb).seconds4 for gb in sorted(PAPER)]
+        assert all(b < a for a, b in zip(times, times[1:]))
+        # Magnitudes within ~60% (the k4 factor is a one-point fit).
+        for got, gb in zip(times, sorted(PAPER)):
+            assert got == pytest.approx(PAPER[gb][2], rel=0.60)
+
+    def test_b3_collapse(self):
+        assert run(50).effective_b3 == 10
+        assert run(10).effective_b3 == 60
+
+    def test_crosspoint_counts_scale(self):
+        # |L_3| grows ~5x per SRA doubling band (Table VIII: 603 -> 12986).
+        low, high = run(10).crosspoints3, run(50).crosspoints3
+        assert high > 10 * low
+        assert high == pytest.approx(PAPER[50][4], rel=0.40)
+
+
+class TestValidation:
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigError):
+            AlignmentGeometry(m=0, n=5, row_span=1, col_span=1)
+        with pytest.raises(ConfigError):
+            AlignmentGeometry(m=10, n=10, row_span=20, col_span=5)
+
+    def test_positive_budget_required(self):
+        with pytest.raises(ConfigError):
+            estimate(CHROMOSOME_GEOMETRY, 0, grid2=GRID, grid3=GRID,
+                     device=GTX_285, host=PENTIUM_DUALCORE)

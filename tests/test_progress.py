@@ -1,0 +1,39 @@
+"""Progress callback coverage."""
+
+from __future__ import annotations
+
+from repro.core import CUDAlign, small_config
+
+from tests.conftest import make_pair
+
+
+class TestProgress:
+    def test_stage1_band_updates_and_stage_completions(self, rng):
+        s0, s1 = make_pair(rng, 300, 300)
+        events: list[tuple[str, float]] = []
+        config = small_config(block_rows=32, n=len(s1), sra_rows=4)
+        CUDAlign(config, progress=lambda s, f: events.append((s, f))).run(
+            s0, s1)
+        stages = {s for s, _ in events}
+        assert {"stage1", "stage2", "stage5", "stage6"} <= stages
+        # Stage 1 reports per band, monotonically, ending at 1.0.
+        s1_fracs = [f for s, f in events if s == "stage1"]
+        assert len(s1_fracs) > 3
+        assert s1_fracs == sorted(s1_fracs)
+        assert s1_fracs[-1] == 1.0
+        # All fractions are within [0, 1].
+        assert all(0 <= f <= 1 for _, f in events)
+
+    def test_no_callback_is_fine(self, rng):
+        s0, s1 = make_pair(rng, 100, 100)
+        config = small_config(block_rows=32, n=len(s1), sra_rows=2)
+        result = CUDAlign(config).run(s0, s1, visualize=False)
+        assert result.best_score >= 0
+
+    def test_visualize_false_skips_stage6_event(self, rng):
+        s0, s1 = make_pair(rng, 120, 120)
+        events: list[str] = []
+        config = small_config(block_rows=32, n=len(s1), sra_rows=2)
+        CUDAlign(config, progress=lambda s, f: events.append(s)).run(
+            s0, s1, visualize=False)
+        assert "stage6" not in events

@@ -1,0 +1,68 @@
+"""Regression tests for bugs found during development.
+
+Each test pins the exact input that exposed the defect; keep them cheap
+but faithful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.full_matrix import local_align
+from repro.core import CUDAlign, small_config
+from repro.sequences import get_entry
+
+
+class TestStage2SameRunFJoin:
+    """A vertical gap run crossing both a special row AND the band's
+    anchor crosspoint broke the original (de-biased) F-join matching:
+    the seeding discount and the trailing-run double-open cancel, so the
+    raw reverse values must be used.  First seen on the chromosome
+    catalog entry at scale 4096 (MatchingError in band [4608, 5376])."""
+
+    def test_chromosome_entry_scale_4096(self):
+        entry = get_entry("32799Kx46944K")
+        s0, s1 = entry.build(scale=4096, seed=0)
+        config = small_config(block_rows=128, n=len(s1), sra_rows=12,
+                              max_partition_size=32)
+        result = CUDAlign(config).run(s0, s1, visualize=False)
+        assert result.alignment is not None
+        assert result.alignment.score(s0, s1, config.scheme) == \
+            result.best_score
+
+    def test_long_gap_runs_across_special_rows(self, rng):
+        # Distilled shape: a pair whose optimal alignment contains gap
+        # runs longer than the special-row spacing, so runs necessarily
+        # cross rows mid-gap.
+        from repro.sequences.synth import MutationProfile, homologous_pair
+        s0, s1 = homologous_pair(
+            900, rng, profile=MutationProfile(substitution=0.01,
+                                              insertion=0.004,
+                                              deletion=0.004,
+                                              indel_mean_len=60.0))
+        config = small_config(block_rows=16, n=len(s1), sra_rows=24,
+                              max_partition_size=8)
+        result = CUDAlign(config).run(s0, s1, visualize=False)
+        _, want = local_align(s0, s1, config.scheme)
+        assert result.best_score == want
+
+
+class TestTileCornerOwnership:
+    """Assembling a horizontal bus from tile segments must not let a
+    tile's pinned F[0] clobber the left neighbour's value at the shared
+    corner column (first seen as 3 mismatched cells at the column cuts
+    in the blocksim special rows)."""
+
+    def test_special_rows_across_segment_boundaries(self, rng, scheme):
+        from repro.align.rowscan import RowSweeper
+        from repro.core.config import sra_bytes_for_rows
+        from repro.gpusim import GTX_285, KernelGrid
+        from repro.gpusim.blocksim import simulate_stage1
+        from tests.conftest import make_pair
+        s0, s1 = make_pair(rng, 128, 128)
+        sim = simulate_stage1(s0, s1, scheme, KernelGrid(4, 8, 2), GTX_285,
+                              sra_bytes=sra_bytes_for_rows(len(s1), 4))
+        mono = RowSweeper(s0.codes, s1.codes, scheme, local=True,
+                          save_rows=sorted(sim.special_rows)).run()
+        for r, (h, f) in sim.special_rows.items():
+            np.testing.assert_array_equal(f, mono.saved[r][1])

@@ -1,0 +1,45 @@
+"""Report generator: structure and internal consistency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.report import ReportOptions, generate_report, run_catalog
+from repro.sequences import CATALOG
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    # One shared (fast) report for all structure tests.
+    return generate_report(ReportOptions(scale=32768, sra_rows=4,
+                                         sra_sweep=(0, 4),
+                                         include_modeled=True))
+
+
+class TestReport:
+    def test_all_sections_present(self, report_text):
+        for section in ("Results per comparison", "Per-stage wall seconds",
+                        "SRA sweep", "Stage-4 iterations",
+                        "Alignment composition", "Paper-scale projections"):
+            assert section in report_text
+
+    def test_every_catalog_entry_reported(self, report_text):
+        for entry in CATALOG:
+            assert entry.key in report_text
+
+    def test_modeled_rows_present(self, report_text):
+        assert "64,330" in report_text or "64,331" in report_text
+
+    def test_run_catalog_results_consistent(self):
+        options = ReportOptions(scale=32768, sra_rows=4)
+        results = run_catalog(options)
+        assert set(results) == {e.key for e in CATALOG}
+        for key, result in results.items():
+            if result.alignment is not None:
+                assert result.composition.score == result.best_score
+
+    def test_modeled_section_optional(self):
+        text = generate_report(ReportOptions(scale=32768, sra_rows=2,
+                                             sra_sweep=(0,),
+                                             include_modeled=False))
+        assert "Paper-scale projections" not in text

@@ -1,0 +1,144 @@
+"""RowSweeper vs the per-cell reference implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import TYPE_GAP_S0, TYPE_GAP_S1, TYPE_MATCH
+from repro.errors import ConfigError
+from repro.align import reference
+from repro.align.rowscan import RowSweeper
+from repro.align.scoring import PAPER_SCHEME, ScoringScheme
+
+from tests.conftest import SCHEMES, make_pair
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=48)
+
+
+def run_sweep(s0, s1, scheme, **kw):
+    sw = RowSweeper(s0.codes, s1.codes, scheme, **kw)
+    sw.run()
+    return sw
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("local", [True, False])
+    def test_final_rows_match(self, rng, scheme, local):
+        s0, s1 = make_pair(rng, 37, 53)
+        ref = (reference.sw_matrices if local else reference.global_matrices)(
+            s0, s1, scheme)
+        sw = run_sweep(s0, s1, scheme, local=local)
+        np.testing.assert_array_equal(sw.H, ref.H[-1])
+        np.testing.assert_array_equal(sw.E, ref.E[-1])
+        np.testing.assert_array_equal(sw.F, ref.F[-1])
+
+    @pytest.mark.parametrize("start_gap", [TYPE_GAP_S0, TYPE_GAP_S1])
+    def test_start_gap_boundaries(self, rng, scheme, start_gap):
+        s0, s1 = make_pair(rng, 20, 31)
+        ref = reference.global_matrices(s0, s1, scheme, start_gap=start_gap)
+        sw = run_sweep(s0, s1, scheme, start_gap=start_gap)
+        np.testing.assert_array_equal(sw.H, ref.H[-1])
+        np.testing.assert_array_equal(sw.E, ref.E[-1])
+        np.testing.assert_array_equal(sw.F, ref.F[-1])
+
+    def test_best_tracking_matches_reference(self, rng, scheme):
+        s0, s1 = make_pair(rng, 40, 40)
+        ref = reference.sw_matrices(s0, s1, scheme)
+        best, pos = reference.best_cell(ref.H)
+        sw = run_sweep(s0, s1, scheme, local=True, track_best=True)
+        assert sw.best == best
+        # Positions may differ among ties; the score at the position must match.
+        i, j = sw.best_pos
+        assert ref.H[i, j] == best
+
+    @settings(max_examples=60, deadline=None)
+    @given(t0=dna, t1=dna, local=st.booleans())
+    def test_property_rows_match(self, t0, t1, local):
+        from repro.sequences.sequence import Sequence
+        s0 = Sequence.from_text(t0)
+        s1 = Sequence.from_text(t1)
+        ref = (reference.sw_matrices if local else reference.global_matrices)(
+            s0, s1, PAPER_SCHEME)
+        sw = run_sweep(s0, s1, PAPER_SCHEME, local=local)
+        np.testing.assert_array_equal(sw.H, ref.H[-1])
+
+    @settings(max_examples=25, deadline=None)
+    @given(t0=dna, t1=dna,
+           params=st.tuples(st.integers(1, 4), st.integers(-4, 0),
+                            st.integers(1, 8), st.integers(1, 8)))
+    def test_property_arbitrary_schemes(self, t0, t1, params):
+        from repro.sequences.sequence import Sequence
+        match, mismatch, a, b = params
+        scheme = ScoringScheme(match=match, mismatch=mismatch,
+                               gap_first=max(a, b), gap_ext=min(a, b))
+        s0 = Sequence.from_text(t0)
+        s1 = Sequence.from_text(t1)
+        ref = reference.sw_matrices(s0, s1, scheme)
+        sw = run_sweep(s0, s1, scheme, local=True, track_best=True)
+        assert sw.best == reference.best_cell(ref.H)[0]
+
+
+class TestIncrementalFeatures:
+    def test_advance_in_strips_equals_one_shot(self, rng, scheme):
+        s0, s1 = make_pair(rng, 50, 41)
+        one = run_sweep(s0, s1, scheme, local=True)
+        strip = RowSweeper(s0.codes, s1.codes, scheme, local=True)
+        while not strip.done:
+            strip.advance(7)
+        np.testing.assert_array_equal(one.H, strip.H)
+        assert strip.cells == 50 * 41
+
+    def test_advance_past_end_is_noop(self, rng, scheme):
+        s0, s1 = make_pair(rng, 5, 5)
+        sw = run_sweep(s0, s1, scheme, local=True)
+        assert sw.advance(10) == 0
+
+    def test_saved_rows_match_reference(self, rng, scheme):
+        s0, s1 = make_pair(rng, 33, 29)
+        ref = reference.sw_matrices(s0, s1, scheme)
+        sw = run_sweep(s0, s1, scheme, local=True, save_rows=[8, 16, 33])
+        assert set(sw.saved) == {8, 16, 33}
+        for r, (h, f) in sw.saved.items():
+            np.testing.assert_array_equal(h, ref.H[r])
+            np.testing.assert_array_equal(f, ref.F[r])
+
+    def test_taps_record_columns(self, rng, scheme):
+        s0, s1 = make_pair(rng, 21, 27)
+        ref = reference.global_matrices(s0, s1, scheme)
+        taps = np.array([0, 5, 27])
+        sw = run_sweep(s0, s1, scheme, tap_columns=taps)
+        for k, j in enumerate(taps):
+            np.testing.assert_array_equal(sw.tap_H[:, k], ref.H[:, j])
+            np.testing.assert_array_equal(sw.tap_E[:, k], ref.E[:, j])
+
+    def test_watch_value_finds_cell(self, rng, scheme):
+        s0, s1 = make_pair(rng, 30, 30)
+        ref = reference.sw_matrices(s0, s1, scheme)
+        best, (bi, bj) = reference.best_cell(ref.H)
+        sw = run_sweep(s0, s1, scheme, local=True, watch_value=best)
+        assert sw.watch_hit is not None
+        i, j = sw.watch_hit
+        assert ref.H[i, j] == best
+
+    def test_validation_errors(self, rng, scheme):
+        s0, s1 = make_pair(rng, 10, 10)
+        with pytest.raises(ConfigError):
+            RowSweeper(s0.codes, s1.codes, scheme, local=True,
+                       start_gap=TYPE_GAP_S0)
+        with pytest.raises(ConfigError):
+            RowSweeper(s0.codes, s1.codes, scheme, save_rows=[0])
+        with pytest.raises(ConfigError):
+            RowSweeper(s0.codes, s1.codes, scheme, tap_columns=[99])
+        with pytest.raises(ConfigError):
+            RowSweeper(s0.codes, s1.codes, scheme, start_gap=7)
+
+    def test_n_code_never_matches(self, scheme):
+        from repro.sequences.sequence import Sequence
+        s0 = Sequence.from_text("NNNN")
+        s1 = Sequence.from_text("NNNN")
+        sw = run_sweep(s0, s1, scheme, local=True, track_best=True)
+        assert sw.best == 0

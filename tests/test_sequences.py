@@ -1,0 +1,196 @@
+"""Unit tests for the sequence substrate."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import SequenceError
+from repro.sequences import (
+    CATALOG,
+    MutationProfile,
+    Sequence,
+    decode,
+    embedded_core_pair,
+    encode,
+    get_entry,
+    homologous_pair,
+    iter_fasta,
+    mutate,
+    random_dna,
+    read_fasta,
+    write_fasta,
+)
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        text = "ACGTNACGT"
+        assert decode(encode(text)) == text
+
+    def test_lower_case_normalized(self):
+        assert decode(encode("acgtn")) == "ACGTN"
+
+    def test_invalid_character_rejected(self):
+        with pytest.raises(SequenceError, match="invalid DNA character"):
+            encode("ACGU")
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(SequenceError):
+            decode(np.array([9], dtype=np.uint8))
+
+
+class TestSequence:
+    def test_from_text_and_len(self):
+        seq = Sequence.from_text("ACGTACGT", name="x")
+        assert len(seq) == 8
+        assert str(seq) == "ACGTACGT"
+
+    def test_empty_rejected(self):
+        with pytest.raises(SequenceError):
+            Sequence.from_text("")
+
+    def test_slice_is_view(self):
+        seq = Sequence.from_text("ACGTACGT")
+        sub = seq[2:6]
+        assert str(sub) == "GTAC"
+        assert sub.codes.base is not None  # a view, not a copy
+
+    def test_slice_empty_rejected(self):
+        seq = Sequence.from_text("ACGT")
+        with pytest.raises(SequenceError):
+            seq[2:2]
+
+    def test_scalar_indexing_rejected(self):
+        seq = Sequence.from_text("ACGT")
+        with pytest.raises(TypeError):
+            seq[0]
+
+    def test_codes_immutable(self):
+        seq = Sequence.from_text("ACGT")
+        with pytest.raises(ValueError):
+            seq.codes[0] = 1
+
+    def test_reversed(self):
+        seq = Sequence.from_text("ACGGT")
+        assert str(seq.reversed()) == "TGGCA"
+
+
+class TestFasta:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "x.fasta"
+        a = Sequence.from_text("ACGT" * 40, name="chrA test")
+        b = Sequence.from_text("TTTTGGGG", name="chrB")
+        write_fasta(path, a, b, width=13)
+        records = list(iter_fasta(path))
+        assert [str(r) for r in records] == [str(a), str(b)]
+        assert records[0].accession == "chrA"
+
+    def test_read_first_record(self, tmp_path):
+        path = tmp_path / "x.fasta"
+        write_fasta(path, Sequence.from_text("ACGT", name="only"))
+        assert str(read_fasta(path)) == "ACGT"
+
+    def test_blank_lines_and_comments(self):
+        handle = io.StringIO(">h1\n; comment\nAC\n\nGT\n")
+        (rec,) = list(iter_fasta(handle))
+        assert str(rec) == "ACGT"
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(SequenceError, match="before the first"):
+            list(iter_fasta(io.StringIO("ACGT\n")))
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(SequenceError, match="no sequence data"):
+            list(iter_fasta(io.StringIO(">h\n>g\nAC\n")))
+
+    def test_missing_file_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_fasta(tmp_path / "nope.fasta")
+
+
+class TestSynth:
+    def test_random_dna_deterministic(self):
+        a = random_dna(100, np.random.default_rng(7))
+        b = random_dna(100, np.random.default_rng(7))
+        assert np.array_equal(a.codes, b.codes)
+
+    def test_mutate_substitutions_change_bases(self):
+        rng = np.random.default_rng(3)
+        seq = random_dna(2000, rng)
+        mut = mutate(seq, MutationProfile(substitution=0.5, insertion=0,
+                                          deletion=0), rng)
+        assert len(mut) == len(seq)
+        diff = np.count_nonzero(mut.codes != seq.codes)
+        assert 700 < diff < 1300  # ~50%
+
+    def test_mutate_zero_profile_is_identity(self):
+        rng = np.random.default_rng(3)
+        seq = random_dna(500, rng)
+        mut = mutate(seq, MutationProfile(substitution=0, insertion=0,
+                                          deletion=0), rng)
+        assert np.array_equal(mut.codes, seq.codes)
+
+    def test_indels_change_length(self):
+        rng = np.random.default_rng(3)
+        seq = random_dna(5000, rng)
+        ins = mutate(seq, MutationProfile(substitution=0, insertion=0.05,
+                                          deletion=0), rng)
+        assert len(ins) > len(seq)
+        rng = np.random.default_rng(3)
+        dele = mutate(seq, MutationProfile(substitution=0, insertion=0,
+                                           deletion=0.05), rng)
+        assert len(dele) < len(seq)
+
+    def test_profile_validation(self):
+        with pytest.raises(SequenceError):
+            MutationProfile(substitution=1.5)
+        with pytest.raises(SequenceError):
+            MutationProfile(indel_mean_len=0.5)
+
+    def test_homologous_pair_is_similar(self):
+        # Substitution-only profile keeps the pair positionally comparable
+        # (indels would shift frames and hide the homology from this test).
+        profile = MutationProfile(substitution=0.05, insertion=0, deletion=0)
+        s0, s1 = homologous_pair(1000, np.random.default_rng(5), profile=profile)
+        ident = np.count_nonzero(s0.codes == s1.codes) / 1000
+        assert ident > 0.85  # far above the 0.25 random baseline
+
+    def test_embedded_core_pair_sizes(self):
+        s0, s1 = embedded_core_pair(800, 600, 100, np.random.default_rng(5))
+        assert abs(len(s0) - 800) < 50 and abs(len(s1) - 600) < 50
+
+    def test_embedded_core_validation(self):
+        with pytest.raises(SequenceError):
+            embedded_core_pair(100, 100, 200, np.random.default_rng(0))
+
+
+class TestCatalog:
+    def test_catalog_matches_paper_table2(self):
+        assert len(CATALOG) == 8
+        entry = get_entry("32799Kx46944K")
+        assert entry.paper_size0 == 32_799_110
+        assert entry.paper_score == 27_206_434
+
+    def test_unknown_key(self):
+        with pytest.raises(SequenceError):
+            get_entry("nope")
+
+    def test_build_deterministic(self):
+        entry = get_entry("162Kx172K")
+        a0, a1 = entry.build(scale=1024, seed=1)
+        b0, b1 = entry.build(scale=1024, seed=1)
+        assert np.array_equal(a0.codes, b0.codes)
+        assert np.array_equal(a1.codes, b1.codes)
+
+    def test_scaled_sizes_floor(self):
+        entry = get_entry("162Kx172K")
+        m, n = entry.scaled_sizes(10**9)
+        assert m == n == 384
+
+    @pytest.mark.parametrize("entry", CATALOG, ids=lambda e: e.key)
+    def test_every_entry_builds(self, entry):
+        s0, s1 = entry.build(scale=4096, seed=0)
+        assert len(s0) >= 384 and len(s1) >= 384

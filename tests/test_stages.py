@@ -1,0 +1,330 @@
+"""Per-stage tests: each stage against the reference ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import TYPE_GAP_S0, TYPE_GAP_S1, TYPE_MATCH
+from repro.errors import PartitionError
+from repro.align import full_matrix, reference
+from repro.core import (
+    CrosspointChain,
+    Crosspoint,
+    run_stage1,
+    run_stage2,
+    run_stage3,
+    run_stage4,
+    run_stage5,
+    run_stage6,
+    small_config,
+    sra_bytes_for_rows,
+)
+from repro.core.stage1 import ROWS_NS
+from repro.storage.sra import SpecialLineStore
+
+from tests.conftest import make_pair
+
+
+@pytest.fixture
+def pair(rng):
+    return make_pair(rng, 300, 280)
+
+
+def stores(config):
+    return (SpecialLineStore(config.sra_bytes),
+            SpecialLineStore(config.sca_bytes))
+
+
+def config_for(pair, sra_rows=4, **kw):
+    return small_config(block_rows=32, n=len(pair[1]), sra_rows=sra_rows, **kw)
+
+
+class TestStage1:
+    def test_best_matches_reference(self, pair):
+        s0, s1 = pair
+        config = config_for(pair)
+        sra, _ = stores(config)
+        result = run_stage1(s0, s1, config, sra)
+        mats = reference.sw_matrices(s0, s1, config.scheme)
+        best, _ = reference.best_cell(mats.H)
+        assert result.best_score == best
+        i, j = result.end_point.i, result.end_point.j
+        assert mats.H[i, j] == best
+
+    def test_special_rows_saved_and_correct(self, pair):
+        s0, s1 = pair
+        config = config_for(pair, sra_rows=5)
+        sra, _ = stores(config)
+        result = run_stage1(s0, s1, config, sra)
+        assert result.special_rows
+        assert sra.positions(ROWS_NS) == list(result.special_rows)
+        mats = reference.sw_matrices(s0, s1, config.scheme)
+        for r in result.special_rows:
+            line = sra.load(ROWS_NS, r)
+            np.testing.assert_array_equal(line.H, mats.H[r])
+            np.testing.assert_array_equal(line.G, mats.F[r])
+            assert r % config.grid1.block_rows == 0
+
+    def test_sra_budget_respected(self, pair):
+        s0, s1 = pair
+        config = config_for(pair, sra_rows=2)
+        sra, _ = stores(config)
+        result = run_stage1(s0, s1, config, sra)
+        assert sra.bytes_used <= config.sra_bytes
+        assert result.flushed_bytes == sra.bytes_used
+
+    def test_zero_sra_disables_flush(self, pair):
+        s0, s1 = pair
+        config = config_for(pair, sra_rows=0)
+        sra, _ = stores(config)
+        result = run_stage1(s0, s1, config, sra)
+        assert result.special_rows == ()
+        assert result.flushed_bytes == 0
+
+    def test_cells_and_model(self, pair):
+        s0, s1 = pair
+        config = config_for(pair)
+        sra, _ = stores(config)
+        result = run_stage1(s0, s1, config, sra)
+        assert result.cells == len(s0) * len(s1)
+        assert result.modeled_seconds >= result.modeled_seconds_no_flush
+        assert result.mcups_modeled > 0
+
+
+class TestStage2:
+    def run12(self, pair, sra_rows=4):
+        s0, s1 = pair
+        config = config_for(pair, sra_rows=sra_rows)
+        sra, sca = stores(config)
+        stage1 = run_stage1(s0, s1, config, sra)
+        stage2 = run_stage2(s0, s1, config, sra, sca, stage1)
+        return config, sra, sca, stage1, stage2, s0, s1
+
+    def test_chain_valid_and_scores_bracket(self, pair):
+        _, _, _, stage1, stage2, _, _ = self.run12(pair)
+        chain = CrosspointChain(stage2.crosspoints)
+        assert chain.start.score == 0
+        assert chain.end.score == stage1.best_score
+        assert chain.end == stage1.end_point
+
+    def test_start_point_is_true_local_start(self, pair):
+        config, _, _, _, stage2, s0, s1 = self.run12(pair)
+        start = stage2.crosspoints[0]
+        end = stage2.crosspoints[-1]
+        # Global alignment of the spanned rectangle equals the local best.
+        got = reference.global_score(s0[start.i:end.i], s1[start.j:end.j],
+                                     config.scheme)
+        assert got == end.score
+
+    def test_crosspoints_lie_on_special_rows(self, pair):
+        _, sra, _, _, stage2, _, _ = self.run12(pair)
+        rows = set(sra.positions(ROWS_NS))
+        for point in stage2.crosspoints[1:-1]:
+            assert point.i in rows
+
+    def test_crosspoint_scores_are_forward_values(self, pair):
+        config, _, _, _, stage2, s0, s1 = self.run12(pair)
+        mats = reference.sw_matrices(s0, s1, config.scheme)
+        for point in stage2.crosspoints[1:-1]:
+            want = (mats.H if point.type == TYPE_MATCH else mats.F)[point.i, point.j]
+            assert point.score == want
+
+    def test_partition_scores_verified_by_reference(self, pair):
+        config, _, _, _, stage2, s0, s1 = self.run12(pair)
+        for p in CrosspointChain(stage2.crosspoints).partitions():
+            if p.degenerate:
+                continue
+            want = reference.global_score(
+                s0[p.start.i:p.end.i], s1[p.start.j:p.end.j], config.scheme,
+                start_gap=p.start.type, end_gap=p.end.type)
+            assert want == p.score
+
+    def test_saved_columns_cover_partitions(self, pair):
+        _, _, sca, _, stage2, _, _ = self.run12(pair, sra_rows=6)
+        for band in stage2.bands:
+            for j in band.column_positions:
+                assert band.lo.j < j < band.hi.j
+                line = sca.load(band.namespace, j)
+                assert line.lo <= band.lo.i and line.hi >= band.hi.i
+
+    def test_orthogonal_execution_skips_area(self, pair):
+        # Stage 2's processed area must be far below the full matrix when
+        # special rows exist (Section IV-C: ~flush interval x n).
+        _, _, _, stage1, stage2, s0, s1 = self.run12(pair, sra_rows=8)
+        assert stage2.cells < stage1.cells
+
+    def test_no_special_rows_single_band(self, pair):
+        _, _, _, _, stage2, _, _ = self.run12(pair, sra_rows=0)
+        assert len(stage2.crosspoints) == 2  # start and end only
+        assert stage2.bands[0].column_positions == ()
+
+    def test_zero_sca_budget_saves_no_columns(self, pair):
+        import dataclasses
+        s0, s1 = pair
+        config = dataclasses.replace(config_for(pair, sra_rows=5),
+                                     sca_bytes=0)
+        sra, sca = stores(config)
+        stage1 = run_stage1(s0, s1, config, sra)
+        stage2 = run_stage2(s0, s1, config, sra, sca, stage1)
+        assert all(b.column_positions == () for b in stage2.bands)
+        # The pipeline then skips Stage 3 entirely.
+        from repro.core import CUDAlign
+        result = CUDAlign(config).run(s0, s1, visualize=False)
+        assert result.stage3 is None
+        assert result.best_score == stage1.best_score
+
+
+class TestStage3:
+    def run123(self, pair, sra_rows=6):
+        s0, s1 = pair
+        config = config_for(pair, sra_rows=sra_rows)
+        sra, sca = stores(config)
+        stage1 = run_stage1(s0, s1, config, sra)
+        stage2 = run_stage2(s0, s1, config, sra, sca, stage1)
+        stage3 = run_stage3(s0, s1, config, sca, stage2)
+        return config, stage1, stage2, stage3, s0, s1
+
+    def test_chain_refined_and_valid(self, pair):
+        _, stage1, stage2, stage3, _, _ = self.run123(pair)
+        chain = CrosspointChain(stage3.crosspoints)
+        assert len(chain) >= len(stage2.crosspoints)
+        assert chain.end.score == stage1.best_score
+
+    def test_new_crosspoints_on_special_columns(self, pair):
+        _, _, stage2, stage3, _, _ = self.run123(pair)
+        stage2_keys = {(p.i, p.j) for p in stage2.crosspoints}
+        columns = {j for band in stage2.bands for j in band.column_positions}
+        new = [p for p in stage3.crosspoints
+               if (p.i, p.j) not in stage2_keys]
+        assert all(p.j in columns for p in new)
+
+    def test_partition_scores_still_consistent(self, pair):
+        config, _, _, stage3, s0, s1 = self.run123(pair)
+        for p in CrosspointChain(stage3.crosspoints).partitions():
+            if p.degenerate:
+                continue
+            want = reference.global_score(
+                s0[p.start.i:p.end.i], s1[p.start.j:p.end.j], config.scheme,
+                start_gap=p.start.type, end_gap=p.end.type)
+            assert want == p.score
+
+    def test_columns_released_after_consumption(self, pair):
+        s0, s1 = pair
+        config = config_for(pair, sra_rows=6)
+        sra, sca = stores(config)
+        stage1 = run_stage1(s0, s1, config, sra)
+        stage2 = run_stage2(s0, s1, config, sra, sca, stage1)
+        assert sca.bytes_used > 0
+        run_stage3(s0, s1, config, sca, stage2)
+        assert sca.bytes_used == 0
+
+    def test_workers_agree_with_serial(self, pair):
+        import dataclasses
+        s0, s1 = pair
+        config = config_for(pair, sra_rows=6)
+        serial = self.run123(pair)[3]
+        config2 = dataclasses.replace(config, workers=3)
+        sra, sca = stores(config2)
+        stage1 = run_stage1(s0, s1, config2, sra)
+        stage2 = run_stage2(s0, s1, config2, sra, sca, stage1)
+        parallel = run_stage3(s0, s1, config2, sca, stage2)
+        assert parallel.crosspoints == serial.crosspoints
+
+
+class TestStage4:
+    def chain_for(self, pair, config):
+        s0, s1 = pair
+        sra, sca = stores(config)
+        stage1 = run_stage1(s0, s1, config, sra)
+        stage2 = run_stage2(s0, s1, config, sra, sca, stage1)
+        stage3 = run_stage3(s0, s1, config, sca, stage2)
+        return CrosspointChain(stage3.crosspoints)
+
+    def test_all_partitions_fit_after(self, pair):
+        s0, s1 = pair
+        config = config_for(pair, max_partition_size=12)
+        chain = self.chain_for(pair, config)
+        result = run_stage4(s0, s1, config, chain)
+        out = CrosspointChain(result.crosspoints)
+        for p in out.partitions():
+            assert p.degenerate or p.max_dim <= 12
+
+    def test_iterations_halve_dimensions(self, pair):
+        s0, s1 = pair
+        config = config_for(pair, max_partition_size=8)
+        chain = self.chain_for(pair, config)
+        result = run_stage4(s0, s1, config, chain)
+        dims = [max(it.h_max, it.w_max) for it in result.iterations]
+        assert all(b <= a for a, b in zip(dims, dims[1:]))
+        counts = [it.crosspoints for it in result.iterations]
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+        # Each iteration at most doubles the crosspoints (Section IV-E).
+        assert all(b <= 2 * a for a, b in zip(counts, counts[1:]))
+
+    def test_balanced_needs_fewer_iterations_on_skewed(self, rng):
+        import dataclasses
+        # A skewed comparison: tall-narrow partitions dominate.
+        s0, s1 = make_pair(rng, 600, 80)
+        config = config_for((s0, s1), sra_rows=0, max_partition_size=10)
+        chain = self.chain_for((s0, s1), config)
+        bal = run_stage4(s0, s1, config, chain)
+        unbal = run_stage4(
+            s0, s1, dataclasses.replace(config, stage4_balanced=False), chain)
+        assert len(bal.iterations) <= len(unbal.iterations)
+        final_bal = CrosspointChain(bal.crosspoints)
+        final_unbal = CrosspointChain(unbal.crosspoints)
+        assert final_bal.end.score == final_unbal.end.score
+
+    def test_orthogonal_same_chain_scores(self, pair):
+        import dataclasses
+        s0, s1 = pair
+        config = config_for(pair, max_partition_size=10)
+        chain = self.chain_for(pair, config)
+        orth = run_stage4(s0, s1, config, chain)
+        plain = run_stage4(
+            s0, s1, dataclasses.replace(config, stage4_orthogonal=False), chain)
+        assert CrosspointChain(orth.crosspoints).end.score == \
+            CrosspointChain(plain.crosspoints).end.score
+        # Orthogonal execution processes fewer cells (Table IX).
+        assert orth.cells < plain.cells
+
+
+class TestStage5And6:
+    def full_chain(self, pair, config):
+        s0, s1 = pair
+        sra, sca = stores(config)
+        stage1 = run_stage1(s0, s1, config, sra)
+        stage2 = run_stage2(s0, s1, config, sra, sca, stage1)
+        stage3 = run_stage3(s0, s1, config, sca, stage2)
+        chain = CrosspointChain(stage3.crosspoints)
+        stage4 = run_stage4(s0, s1, config, chain)
+        return stage1, CrosspointChain(stage4.crosspoints)
+
+    def test_alignment_matches_best_score(self, pair):
+        s0, s1 = pair
+        config = config_for(pair, max_partition_size=16)
+        stage1, chain = self.full_chain(pair, config)
+        result = run_stage5(s0, s1, config, chain)
+        assert result.alignment.score(s0, s1, config.scheme) == stage1.best_score
+        assert result.partitions_aligned == len(chain) - 1
+
+    def test_rejects_oversized_partitions(self, pair):
+        s0, s1 = pair
+        config = config_for(pair, max_partition_size=16)
+        chain = CrosspointChain([
+            Crosspoint(0, 0, 0), Crosspoint(100, 100, 50)])
+        with pytest.raises(PartitionError, match="oversized"):
+            run_stage5(s0, s1, config, chain)
+
+    def test_stage6_round_trip(self, pair):
+        s0, s1 = pair
+        config = config_for(pair, max_partition_size=16)
+        _, chain = self.full_chain(pair, config)
+        stage5 = run_stage5(s0, s1, config, chain)
+        stage6 = run_stage6(s0, s1, config, stage5.binary)
+        np.testing.assert_array_equal(stage6.alignment.ops, stage5.alignment.ops)
+        assert stage6.alignment.start == stage5.alignment.start
+        assert "Alignment of" in stage6.text
+        assert "*" in stage6.dotplot
+        assert stage6.compression_ratio > 1

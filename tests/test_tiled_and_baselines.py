@@ -1,0 +1,222 @@
+"""Tiled wavefront engine and the baselines built on it."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.align import reference
+from repro.align.rowscan import RowSweeper
+from repro.align.scoring import PAPER_SCHEME
+from repro.align.tiled import TileEdges, tile_sweep, tiled_local_sweep, zero_edges
+from repro.baselines import (
+    TABLE_I,
+    ZAlignCluster,
+    format_table_i,
+    full_matrix_align,
+    quadratic_memory_bytes,
+)
+from repro.sequences.sequence import Sequence
+
+from tests.conftest import SCHEMES, make_pair
+
+
+class TestTileSweep:
+    def test_single_tile_equals_monolithic(self, rng, scheme):
+        s0, s1 = make_pair(rng, 40, 50)
+        tile = tile_sweep(s0.codes, s1.codes, scheme,
+                          zero_edges(40, 50), track_best=True)
+        mono = RowSweeper(s0.codes, s1.codes, scheme, local=True,
+                          track_best=True).run()
+        np.testing.assert_array_equal(tile.bottom_H, mono.H)
+        np.testing.assert_array_equal(tile.bottom_F, mono.F)
+        assert tile.best == mono.best
+
+    def test_right_edge_matches_reference_columns(self, rng, scheme):
+        s0, s1 = make_pair(rng, 30, 20)
+        mats = reference.sw_matrices(s0, s1, scheme)
+        tile = tile_sweep(s0.codes, s1.codes, scheme, zero_edges(30, 20))
+        np.testing.assert_array_equal(tile.right_H, mats.H[1:, 20])
+        np.testing.assert_array_equal(tile.right_E, mats.E[1:, 20])
+
+    def test_edge_size_validation(self, rng, scheme):
+        s0, s1 = make_pair(rng, 10, 10)
+        with pytest.raises(ConfigError):
+            tile_sweep(s0.codes, s1.codes, scheme, zero_edges(9, 10))
+
+    def test_empty_tile_rejected(self, scheme):
+        with pytest.raises(ConfigError):
+            tile_sweep(np.empty(0, np.uint8), np.zeros(3, np.uint8), scheme,
+                       zero_edges(1, 3))
+
+
+class TestTileBoundaryAlgebra:
+    """tile_sweep with *arbitrary* boundary values must reproduce the
+    plain per-cell recurrences seeded with the same boundary — the
+    independent check of the boundary-folded E scan (the virtual
+    ``E_in + G_open`` source)."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), h=st.integers(1, 12),
+           w=st.integers(1, 12))
+    def test_random_boundaries_match_per_cell(self, seed, h, w):
+        rng = np.random.default_rng(seed)
+        scheme = PAPER_SCHEME
+        codes0 = rng.integers(0, 4, h, dtype=np.uint8)
+        codes1 = rng.integers(0, 4, w, dtype=np.uint8)
+        edges = TileEdges(
+            top_H=rng.integers(-20, 40, w + 1).astype(np.int32),
+            top_E=rng.integers(-40, 10, w + 1).astype(np.int32),
+            top_F=rng.integers(-40, 10, w + 1).astype(np.int32),
+            left_H=rng.integers(-20, 40, h).astype(np.int32),
+            left_E=rng.integers(-40, 10, h).astype(np.int32),
+        )
+        tile = tile_sweep(codes0, codes1, scheme, edges, local=True)
+
+        # Per-cell oracle with the same seeded boundary.
+        H = np.zeros((h + 1, w + 1), dtype=np.int64)
+        E = np.zeros((h + 1, w + 1), dtype=np.int64)
+        F = np.zeros((h + 1, w + 1), dtype=np.int64)
+        H[0], E[0], F[0] = edges.top_H, edges.top_E, edges.top_F
+        for i in range(1, h + 1):
+            H[i, 0] = edges.left_H[i - 1]
+            E[i, 0] = edges.left_E[i - 1]
+            F[i, 0] = -10**9
+            for j in range(1, w + 1):
+                E[i, j] = max(E[i, j - 1] - scheme.gap_ext,
+                              H[i, j - 1] - scheme.gap_first)
+                F[i, j] = max(F[i - 1, j] - scheme.gap_ext,
+                              H[i - 1, j] - scheme.gap_first)
+                sub = scheme.match if codes0[i - 1] == codes1[j - 1] \
+                    else scheme.mismatch
+                H[i, j] = max(0, E[i, j], F[i, j], H[i - 1, j - 1] + sub)
+        np.testing.assert_array_equal(tile.bottom_H[1:], H[h, 1:])
+        np.testing.assert_array_equal(tile.right_H, H[1:, w])
+        np.testing.assert_array_equal(tile.right_E, E[1:, w])
+
+
+class TestTiledDecomposition:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("band,strip", [(7, 11), (16, 16), (100, 3), (1, 1)])
+    def test_decomposition_is_exact(self, rng, scheme, band, strip):
+        s0, s1 = make_pair(rng, 53, 47)
+        mono = RowSweeper(s0.codes, s1.codes, scheme, local=True,
+                          track_best=True).run()
+        tiled = tiled_local_sweep(s0.codes, s1.codes, scheme,
+                                  band_rows=band, strip_cols=strip)
+        assert tiled.best == mono.best
+        assert tiled.cells == 53 * 47
+
+    def test_best_position_scores_best(self, rng, scheme):
+        s0, s1 = make_pair(rng, 60, 60)
+        mats = reference.sw_matrices(s0, s1, scheme)
+        tiled = tiled_local_sweep(s0.codes, s1.codes, scheme,
+                                  band_rows=13, strip_cols=17)
+        i, j = tiled.best_pos
+        assert mats.H[i, j] == tiled.best
+
+    @settings(max_examples=30, deadline=None)
+    @given(t0=st.text(alphabet="ACGT", min_size=1, max_size=40),
+           t1=st.text(alphabet="ACGT", min_size=1, max_size=40),
+           band=st.integers(1, 12), strip=st.integers(1, 12))
+    def test_property_any_tiling_is_exact(self, t0, t1, band, strip):
+        s0 = Sequence.from_text(t0)
+        s1 = Sequence.from_text(t1)
+        mono = RowSweeper(s0.codes, s1.codes, PAPER_SCHEME, local=True,
+                          track_best=True).run()
+        tiled = tiled_local_sweep(s0.codes, s1.codes, PAPER_SCHEME,
+                                  band_rows=band, strip_cols=strip)
+        assert tiled.best == mono.best
+
+    def test_bus_accounting(self, rng, scheme):
+        s0, s1 = make_pair(rng, 64, 64)
+        tiled = tiled_local_sweep(s0.codes, s1.codes, scheme,
+                                  band_rows=16, strip_cols=16)
+        assert tiled.tiles == 16
+        assert tiled.wavefront_steps == 4 + 4 - 1
+        assert tiled.horizontal_bus_bytes == 16 * 8 * 17
+        assert tiled.vertical_bus_bytes == 16 * 8 * 16
+
+    def test_invalid_tiling(self, rng, scheme):
+        s0, s1 = make_pair(rng, 10, 10)
+        with pytest.raises(ConfigError):
+            tiled_local_sweep(s0.codes, s1.codes, scheme,
+                              band_rows=0, strip_cols=4)
+
+
+class TestZAlign:
+    def test_score_matches_reference(self, rng, scheme):
+        s0, s1 = make_pair(rng, 90, 110)
+        cluster = ZAlignCluster(cores=8, band_rows=16)
+        score, stats = cluster.align_score(s0, s1, scheme)
+        assert score == reference.sw_score(s0, s1, scheme)
+        assert stats.tiles >= 8
+
+    def test_model_reproduces_table6_one_core(self):
+        # Z-align, 1 core: 3M in 294,000 s; 1M in 32,094 s (Table VI).
+        one = ZAlignCluster(cores=1)
+        got_3m = one.modeled_seconds(3_147_090, 3_282_708)
+        assert got_3m == pytest.approx(294_000, rel=0.10)
+        got_1m = one.modeled_seconds(1_044_459, 1_072_950)
+        assert got_1m == pytest.approx(32_094, rel=0.15)
+
+    def test_model_reproduces_table6_64_cores(self):
+        cluster = ZAlignCluster(cores=64)
+        got_3m = cluster.modeled_seconds(3_147_090, 3_282_708)
+        assert got_3m == pytest.approx(8_765, rel=0.20)
+        got_23m = cluster.modeled_seconds(23_011_544, 24_543_557)
+        assert got_23m == pytest.approx(400_863, rel=0.20)
+
+    def test_speedup_shape_vs_cudalign(self):
+        # CUDAlign's modeled GPU beats 64 Z-align cores by ~15-20x on
+        # megabase inputs (Table VI's right column).
+        from repro.gpusim import GTX_285, KernelGrid, sweep_cost
+        cluster = ZAlignCluster(cores=64)
+        m, n = 23_011_544, 24_543_557
+        z = cluster.modeled_seconds(m, n)
+        c = sweep_cost(m, n, KernelGrid(240, 64, 4), GTX_285).seconds
+        assert 10 < z / c < 25
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ZAlignCluster(cores=0)
+        with pytest.raises(ConfigError):
+            ZAlignCluster(parallel_efficiency=0)
+        with pytest.raises(ConfigError):
+            ZAlignCluster().modeled_seconds(0, 5)
+
+
+class TestFullMatrixBaseline:
+    def test_align_small(self, rng, scheme):
+        s0, s1 = make_pair(rng, 50, 60)
+        result = full_matrix_align(s0, s1, scheme)
+        assert result.score == reference.sw_score(s0, s1, scheme)
+        assert result.memory_bytes == quadratic_memory_bytes(50, 60)
+
+    def test_memory_wall(self):
+        # The paper's motivating number: ~30 MBP x 30 MBP needs petabytes.
+        need = quadratic_memory_bytes(30_000_000, 30_000_000)
+        assert need > 10**16  # > 10 PB with H/E/F resident
+
+    def test_refuses_oversized(self, rng, scheme):
+        s0, s1 = make_pair(rng, 100, 100)
+        with pytest.raises(MemoryError, match="linear-space"):
+            full_matrix_align(s0, s1, scheme, memory_limit_bytes=10)
+
+
+class TestRelatedWork:
+    def test_table_has_eight_rows(self):
+        assert len(TABLE_I) == 8
+        only_align = [r.name for r in TABLE_I if r.provides_alignment]
+        assert only_align == ["DASW", "CUDA-SSCA#1"]
+
+    def test_cudalign1_row(self):
+        row = next(r for r in TABLE_I if r.name == "CUDAlign 1.0")
+        assert row.max_query == 32_799_110 and row.gcups == 20.3
+
+    def test_format(self):
+        text = format_table_i()
+        assert "CUDASW++ 2.0" in text and "GTX 295" in text

@@ -1,0 +1,110 @@
+"""Stage-6 rendering: text blocks, ASCII and SVG dotplots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AlignmentError
+from repro.align.alignment import Alignment
+from repro.sequences.sequence import Sequence
+from repro.viz import ascii_dotplot, render_alignment_text, svg_dotplot
+
+
+def aln(i0, j0, ops):
+    return Alignment(i0, j0, np.asarray(ops, np.uint8))
+
+
+class TestTextRender:
+    def test_block_structure(self):
+        s0 = Sequence.from_text("ACGTACGTAC", name="chrA")
+        s1 = Sequence.from_text("ACGTACGTAC", name="chrB")
+        a = aln(0, 0, [0] * 10)
+        text = render_alignment_text(a, s0, s1, width=4)
+        lines = text.splitlines()
+        assert lines[0].startswith("Alignment of chrA x chrB")
+        # 10 columns at width 4 -> 3 blocks of 4 lines each (3 rows + blank).
+        blocks = [line for line in lines if line.startswith("chrA")]
+        assert len(blocks) == 3
+        # Coordinates advance per block (1-based).
+        assert blocks[0].split()[1] == "1"
+        assert blocks[1].split()[1] == "5"
+
+    def test_coordinates_skip_gaps(self):
+        s0 = Sequence.from_text("AAAA")
+        s1 = Sequence.from_text("AAAAAA")
+        a = aln(0, 0, [0, 0, 1, 1, 0, 0])
+        text = render_alignment_text(a, s0, s1, width=3)
+        rows = [line for line in text.splitlines() if line.startswith("seq")]
+        # Second block starts at S0 base 3 (two gaps consumed no S0 bases).
+        assert rows[2].split()[1] == "3"
+
+    def test_marker_line(self):
+        s0 = Sequence.from_text("ACGT")
+        s1 = Sequence.from_text("AGGT")
+        text = render_alignment_text(aln(0, 0, [0, 0, 0, 0]), s0, s1)
+        marker = text.splitlines()[4]
+        assert marker.strip() == "|.||"
+
+    def test_invalid_width(self):
+        s = Sequence.from_text("ACGT")
+        with pytest.raises(AlignmentError):
+            render_alignment_text(aln(0, 0, [0]), s, s, width=0)
+
+
+class TestAsciiDotplot:
+    def test_diagonal_path(self):
+        a = aln(0, 0, [0] * 100)
+        plot = ascii_dotplot(a, 100, 100, size=10)
+        rows = plot.splitlines()[1:]
+        assert len(rows) == 10
+        # Diagonal: row k has a star near column k.
+        for k, row in enumerate(rows):
+            assert "*" in row
+            assert abs(row.index("*") - k) <= 1
+
+    def test_offset_path(self):
+        a = aln(0, 50, [0] * 40)
+        plot = ascii_dotplot(a, 100, 100, size=10)
+        rows = plot.splitlines()[1:]
+        first = next(r for r in rows if "*" in r)
+        assert first.index("*") >= 5  # starts in the right half
+
+    def test_small_matrix(self):
+        a = aln(0, 0, [0, 0])
+        plot = ascii_dotplot(a, 2, 2, size=40)
+        assert "*" in plot
+
+    def test_validation(self):
+        a = aln(0, 0, [0])
+        with pytest.raises(AlignmentError):
+            ascii_dotplot(a, 10, 10, size=1)
+        with pytest.raises(AlignmentError):
+            ascii_dotplot(a, 0, 10)
+
+
+class TestSvgDotplot:
+    def test_structure(self):
+        a = aln(10, 10, [0] * 50)
+        svg = svg_dotplot(a, 100, 100)
+        assert svg.startswith("<svg")
+        assert "polyline" in svg and "crimson" in svg
+        assert "S1 (1..100)" in svg
+
+    def test_stride_downsamples(self):
+        a = aln(0, 0, [0] * 10_000)
+        svg = svg_dotplot(a, 10_000, 10_000, stride=1000)
+        points = svg.split('points="')[1].split('"')[0].split()
+        assert len(points) <= 12
+
+    def test_endpoints_always_kept(self):
+        a = aln(0, 0, [0] * 999)
+        svg = svg_dotplot(a, 1000, 1000, stride=100)
+        points = svg.split('points="')[1].split('"')[0].split()
+        first = points[0].split(",")
+        last = points[-1].split(",")
+        assert float(first[0]) < float(last[0])
+
+    def test_validation(self):
+        with pytest.raises(AlignmentError):
+            svg_dotplot(aln(0, 0, [0]), 0, 10)
