@@ -9,6 +9,8 @@ MCUPS per kernel is printed for the throughput picture.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -19,16 +21,28 @@ from repro.align.scoring import PAPER_SCHEME
 from repro.align.tiled import tiled_local_sweep
 from repro.baselines import scan_database
 from repro.sequences.synth import homologous_pair, random_dna
+from repro.telemetry import MetricsRegistry
 
 from benchmarks.conftest import emit
 
 RNG = np.random.default_rng(123)
 S0, S1 = homologous_pair(2048, RNG)
 RATES: dict[str, float] = {}
+#: All kernel numbers flow through the telemetry registry too, so the
+#: harness speaks the same metrics dialect as the pipeline; set
+#: REPRO_BENCH_METRICS=1 to emit the raw snapshot alongside the table.
+METRICS = MetricsRegistry()
 
 
 def record(benchmark, name: str, cells: int) -> None:
-    RATES[name] = cells / benchmark.stats.stats.mean / 1e6
+    rate = cells / benchmark.stats.stats.mean / 1e6
+    RATES[name] = rate
+    slug = "".join(c if c.isalnum() else "_"
+                   for c in name.split(" (")[0]).strip("_")
+    METRICS.gauge(f"bench.{slug}.mcups").set(rate)
+    METRICS.counter("bench.cells").add(cells)
+    METRICS.histogram("bench.kernel_seconds").observe(
+        benchmark.stats.stats.mean)
 
 
 def test_kernel_rowscan_local(benchmark):
@@ -93,4 +107,8 @@ def test_kernel_report(benchmark):
         lines.append(f"  {name:<36} {rate:>8.1f}")
     if RATES:
         assert max(RATES.values()) > 10  # sanity: vectorization is alive
+    if os.environ.get("REPRO_BENCH_METRICS"):
+        lines += ["", "metrics snapshot:"]
+        for name, value in sorted(METRICS.snapshot().items()):
+            lines.append(f"  {name}: {value}")
     emit("kernel_throughput", lines)

@@ -33,7 +33,7 @@ def test_table5_stage_runtimes(benchmark, scale):
     ]
     for entry in CATALOG:
         s0, s1, config, result = results[entry.key]
-        w = result.stage_wall_seconds
+        w = result.stage_wall_seconds()
         total = sum(w.values())
         s56 = w["5"] + w["6"]
         share = 100 * w["1"] / total

@@ -50,7 +50,7 @@ def test_table7_sra_sweep(benchmark, scale):
         c2 = result.stage2.cells
         c3 = result.stage3.cells if result.stage3 else 0
         c4 = result.stage4.cells if result.stage4 else 0
-        w = result.stage_wall_seconds
+        w = result.stage_wall_seconds()
         series.append((rows, c2, c4, result.stage1.flushed_bytes))
         lines.append(
             f"{rows:>8} {result.stage1.flushed_bytes:>10,} {c2:>12,} "
@@ -63,7 +63,7 @@ def test_table7_sra_sweep(benchmark, scale):
     assert c4s[-1] < c4s[0], "stage 4 cells must fall as SRA grows"
     assert flushed[-1] > flushed[1] > flushed[0] == 0
     # Stage 5/6 constant-ish.
-    walls5 = [r.stage_wall_seconds["5"] for r in sweeps.values()]
+    walls5 = [r.stage_wall_seconds()["5"] for r in sweeps.values()]
     assert max(walls5) < 10 * max(min(walls5), 1e-3)
     lines += ["", "trends reproduced: flush bytes up, stage-2/4 work down, "
               "stage 5/6 constant (paper Table VII)"]

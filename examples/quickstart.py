@@ -49,7 +49,7 @@ def main() -> None:
     #    Table VIII's |L_k| rows).
     print(f"\ncrosspoints      : {result.crosspoint_counts}")
     print("stage walls (s)  : " + "  ".join(
-        f"{k}:{v:.3f}" for k, v in result.stage_wall_seconds.items()))
+        f"{k}:{v:.3f}" for k, v in result.stage_wall_seconds().items()))
 
     # 5. Stage 6: a slice of the textual rendering.
     text = result.stage6.text.splitlines()

@@ -182,14 +182,16 @@ def find_midpoint(codes0: np.ndarray, codes1: np.ndarray,
                   scheme: ScoringScheme, *, start_gap: int = TYPE_MATCH,
                   end_gap: int = TYPE_MATCH, goal: int | None = None,
                   config: MMConfig | None = None,
-                  stats: MMStats | None = None) -> tuple[int, int, int, int]:
+                  stats: MMStats | None = None,
+                  tracer=None) -> tuple[int, int, int, int]:
     """One Myers-Miller split at the middle row.
 
     Returns ``(r, j, join_type, top_value)``: the optimal path crosses row
     ``r = m // 2`` at column ``j`` with the given join type (H or F), and
     the top sub-problem's value is ``top_value``.  Stage 4 drives its
     iterative refinement through this entry point; ``mm_align`` recurses on
-    it.  Requires ``m >= 2`` so both halves are non-empty.
+    it.  Requires ``m >= 2`` so both halves are non-empty.  With a
+    ``tracer``, the split is wrapped in an ``mm.find_midpoint`` span.
     """
     config = config or MMConfig()
     stats = stats if stats is not None else MMStats()
@@ -197,6 +199,22 @@ def find_midpoint(codes0: np.ndarray, codes1: np.ndarray,
     codes1 = np.asarray(codes1, dtype=np.uint8)
     if codes0.size < 2 or codes1.size < 1:
         raise MatchingError("find_midpoint needs m >= 2 and n >= 1")
+    if tracer is not None:
+        with tracer.span("mm.find_midpoint", m=int(codes0.size),
+                         n=int(codes1.size), goal=goal) as span:
+            cells_before = stats.cells_forward + stats.cells_reverse
+            out = _find_midpoint(codes0, codes1, scheme, start_gap, end_gap,
+                                 goal, config, stats)
+            span.set(row=out[0], column=out[1],
+                     cells=stats.cells_forward + stats.cells_reverse
+                           - cells_before)
+            return out
+    return _find_midpoint(codes0, codes1, scheme, start_gap, end_gap, goal,
+                          config, stats)
+
+
+def _find_midpoint(codes0, codes1, scheme, start_gap, end_gap, goal, config,
+                   stats) -> tuple[int, int, int, int]:
     r = codes0.size // 2
     cc, dd = _forward_vectors(codes0[:r], codes1, scheme, start_gap, stats)
     if config.orthogonal and goal is not None:
@@ -211,7 +229,7 @@ def find_midpoint(codes0: np.ndarray, codes1: np.ndarray,
 def mm_align(codes0: np.ndarray, codes1: np.ndarray, scheme: ScoringScheme,
              *, start_gap: int = TYPE_MATCH, end_gap: int = TYPE_MATCH,
              goal: int | None = None, config: MMConfig | None = None,
-             stats: MMStats | None = None,
+             stats: MMStats | None = None, tracer=None,
              _depth: int = 0) -> tuple[Alignment, int]:
     """Linear-space optimal global alignment (Myers-Miller over Gotoh).
 
@@ -222,6 +240,8 @@ def mm_align(codes0: np.ndarray, codes1: np.ndarray, scheme: ScoringScheme,
             and is verified at every split.
         config: divide-and-conquer tunables.
         stats: work accounting accumulator (mutated in place).
+        tracer: optional telemetry tracer; each recursion level emits an
+            ``mm.align`` span (m/n/depth attributes).
 
     Returns:
         ``(alignment, score)`` — the alignment covers the full rectangle
@@ -232,6 +252,17 @@ def mm_align(codes0: np.ndarray, codes1: np.ndarray, scheme: ScoringScheme,
     stats.max_depth = max(stats.max_depth, _depth)
     codes0 = np.asarray(codes0, dtype=np.uint8)
     codes1 = np.asarray(codes1, dtype=np.uint8)
+    m, n = codes0.size, codes1.size
+    if tracer is not None:
+        with tracer.span("mm.align", m=int(m), n=int(n), depth=_depth):
+            return _mm_align(codes0, codes1, scheme, start_gap, end_gap,
+                             goal, config, stats, tracer, _depth)
+    return _mm_align(codes0, codes1, scheme, start_gap, end_gap, goal,
+                     config, stats, None, _depth)
+
+
+def _mm_align(codes0, codes1, scheme, start_gap, end_gap, goal, config,
+              stats, tracer, _depth) -> tuple[Alignment, int]:
     m, n = codes0.size, codes1.size
 
     if m == 0 or n == 0:
@@ -260,7 +291,8 @@ def mm_align(codes0: np.ndarray, codes1: np.ndarray, scheme: ScoringScheme,
         path, score = mm_align(codes1, codes0, scheme,
                                start_gap=swap_gap_type(start_gap),
                                end_gap=swap_gap_type(end_gap), goal=goal,
-                               config=config, stats=stats, _depth=_depth)
+                               config=config, stats=stats, tracer=tracer,
+                               _depth=_depth)
         return path.transposed(), score
 
     stats.splits += 1
@@ -275,16 +307,17 @@ def mm_align(codes0: np.ndarray, codes1: np.ndarray, scheme: ScoringScheme,
     else:
         r, j_star, join, top_value = find_midpoint(
             codes0, codes1, scheme, start_gap=start_gap, end_gap=end_gap,
-            goal=goal, config=config, stats=stats)
+            goal=goal, config=config, stats=stats, tracer=tracer)
 
     top, top_score = mm_align(codes0[:r], codes1[:j_star], scheme,
                               start_gap=start_gap, end_gap=join,
                               goal=top_value, config=config, stats=stats,
-                              _depth=_depth + 1)
+                              tracer=tracer, _depth=_depth + 1)
     bottom, bottom_score = mm_align(codes0[r:], codes1[j_star:], scheme,
                                     start_gap=join, end_gap=end_gap,
                                     goal=goal - top_value, config=config,
-                                    stats=stats, _depth=_depth + 1)
+                                    stats=stats, tracer=tracer,
+                                    _depth=_depth + 1)
     if top_score + bottom_score != goal:
         raise MatchingError(
             f"split scores {top_score}+{bottom_score} != goal {goal}")

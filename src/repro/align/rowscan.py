@@ -66,6 +66,10 @@ class RowSweeper:
             every row (matching against an orthogonal special line).
         save_rows: absolute row indices whose (H, F) rows are snapshotted
             (the special rows flushed to the SRA).
+        tracer: optional :class:`repro.telemetry.Tracer`; when set, every
+            :meth:`advance` call is wrapped in a ``sweep.advance`` span
+            (rows/cells attributes).  ``None`` (the default) keeps the
+            hot path free of telemetry branches beyond one ``is None``.
     """
 
     def __init__(self, codes0: np.ndarray, codes1: np.ndarray,
@@ -74,7 +78,9 @@ class RowSweeper:
                  track_best: bool = False,
                  watch_value: int | None = None,
                  tap_columns: np.ndarray | None = None,
-                 save_rows: np.ndarray | None = None) -> None:
+                 save_rows: np.ndarray | None = None,
+                 tracer=None) -> None:
+        self.tracer = tracer
         self.codes0 = np.ascontiguousarray(codes0, dtype=np.uint8)
         self.codes1 = np.ascontiguousarray(codes1, dtype=np.uint8)
         if self.codes0.size == 0 or self.codes1.size == 0:
@@ -177,6 +183,15 @@ class RowSweeper:
         nrows = min(nrows, self.m - self.i)
         if nrows <= 0:
             return 0
+        if self.tracer is not None:
+            with self.tracer.span("sweep.advance", rows=nrows,
+                                  from_row=self.i, n=self.n) as span:
+                done = self._advance(nrows)
+                span.set(cells=done * self.n)
+            return done
+        return self._advance(nrows)
+
+    def _advance(self, nrows: int) -> int:
         scheme = self.scheme
         gext = SCORE_DTYPE(scheme.gap_ext)
         gfirst = SCORE_DTYPE(scheme.gap_first)

@@ -21,6 +21,7 @@ from repro.core.pipeline import CUDAlign
 from repro.sequences.catalog import CATALOG, get_entry
 from repro.sequences.fasta import read_fasta, write_fasta
 from repro.storage.binary_alignment import BinaryAlignment
+from repro.telemetry import JsonLinesSink, ProgressRenderer
 from repro.viz.dotplot import svg_dotplot
 from repro.viz.text_render import render_alignment_text
 
@@ -52,17 +53,15 @@ def cmd_align(args: argparse.Namespace) -> int:
             scheme=_scheme(args), workers=args.workers,
             checkpoint_every_rows=args.checkpoint_every)
 
-    progress = None
-    if args.progress:
-        last = {"stage": None, "decile": -1}
-
-        def progress(stage: str, fraction: float) -> None:
-            decile = int(fraction * 10)
-            if stage != last["stage"] or decile > last["decile"]:
-                last["stage"], last["decile"] = stage, decile
-                print(f"  [{stage}] {fraction:6.1%}", file=sys.stderr)
-
-    result = CUDAlign(config, workdir=args.workdir, progress=progress).run(s0, s1)
+    observer = ProgressRenderer(sys.stderr) if args.progress else None
+    trace_sink = JsonLinesSink(args.trace) if args.trace else None
+    sinks = (trace_sink,) if trace_sink is not None else ()
+    try:
+        result = CUDAlign(config, workdir=args.workdir, observer=observer,
+                          sinks=sinks).run(s0, s1)
+    finally:
+        if trace_sink is not None:
+            trace_sink.close()
     out = sys.stdout
     print(f"comparison: {len(s0):,} x {len(s1):,} "
           f"({result.matrix_cells:.2e} cells)", file=out)
@@ -79,8 +78,15 @@ def cmd_align(args: argparse.Namespace) -> int:
           f"gap opens: {comp.gap_opens:,}  gap exts: {comp.gap_extensions:,}",
           file=out)
     print("stage walls (s): " + "  ".join(
-        f"{k}:{v:.3f}" for k, v in result.stage_wall_seconds.items()), file=out)
+        f"{k}:{v:.3f}" for k, v in result.stage_wall_seconds().items()),
+        file=out)
     print(f"crosspoints: {result.crosspoint_counts}", file=out)
+    if args.trace:
+        print(f"trace written to {args.trace}", file=out)
+    if args.metrics:
+        print("metrics:", file=out)
+        for name, value in sorted((result.metrics or {}).items()):
+            print(f"  {name}: {value}", file=out)
     if args.binary_out:
         with open(args.binary_out, "wb") as handle:
             handle.write(result.binary.encode())
@@ -180,7 +186,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="Stage-1 checkpoint interval in rows "
                               "(needs --workdir; resumes automatically)")
     p_align.add_argument("--progress", action="store_true",
-                         help="print per-stage progress to stderr")
+                         help="print live per-stage progress to stderr")
+    p_align.add_argument("--trace", default=None, metavar="FILE",
+                         help="write a JSON-lines span/metric trace here")
+    p_align.add_argument("--metrics", action="store_true",
+                         help="print the run's metrics snapshot")
     p_align.add_argument("--paper-grids", action="store_true",
                          help="use the paper's GTX 285 grid constants")
     p_align.add_argument("--binary-out", default=None)

@@ -3,6 +3,7 @@
 from repro.core.config import PipelineConfig, small_config, sra_bytes_for_rows
 from repro.core.crosspoints import Crosspoint, CrosspointChain, Partition
 from repro.core.pipeline import CUDAlign, PipelineResult
+from repro.core.result import StageResult, is_stage_result
 from repro.core.stage1 import Stage1Result, run_stage1
 from repro.core.stage2 import Stage2Result, run_stage2
 from repro.core.stage3 import Stage3Result, run_stage3
@@ -14,6 +15,7 @@ __all__ = [
     "PipelineConfig", "small_config", "sra_bytes_for_rows",
     "Crosspoint", "CrosspointChain", "Partition",
     "CUDAlign", "PipelineResult",
+    "StageResult", "is_stage_result",
     "Stage1Result", "run_stage1",
     "Stage2Result", "run_stage2",
     "Stage3Result", "run_stage3",

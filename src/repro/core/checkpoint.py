@@ -22,8 +22,17 @@ CHECKPOINT_VERSION = 1
 
 
 def save_checkpoint(path: str | os.PathLike, sweeper: RowSweeper,
-                    m: int, n: int) -> None:
+                    m: int, n: int, *, tracer=None) -> None:
     """Atomically persist the sweep state (write + rename)."""
+    if tracer is not None:
+        with tracer.span("checkpoint.save", row=sweeper.i, m=m, n=n):
+            _save_checkpoint(path, sweeper, m, n)
+        return
+    _save_checkpoint(path, sweeper, m, n)
+
+
+def _save_checkpoint(path: str | os.PathLike, sweeper: RowSweeper,
+                     m: int, n: int) -> None:
     state = sweeper.state_dict()
     tmp = f"{os.fspath(path)}.tmp"
     np.savez(tmp, version=CHECKPOINT_VERSION, m=m, n=n, **state)

@@ -1,0 +1,80 @@
+"""The common stage-result API.
+
+All six ``StageNResult`` dataclasses derive from :class:`StageResult`,
+which fixes the uniform surface the pipeline, the reports and the
+telemetry layer consume: ``wall_seconds``, ``modeled_seconds``,
+``cells`` and a JSON-safe :meth:`StageResult.stats` dict.  Consumers
+iterate ``PipelineResult.stages()`` generically instead of hard-coding
+six attribute sets.
+
+The base deliberately carries no dataclass fields (each stage declares
+its own, in its own order); it contributes the class-level contract,
+derived properties and the generic ``stats()`` implementation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, ClassVar
+
+
+class StageResult:
+    """Base/protocol for the six per-stage result dataclasses.
+
+    Contract (implemented as dataclass fields or properties by every
+    subclass):
+
+    * ``wall_seconds`` — measured wall time of the stage;
+    * ``modeled_seconds`` — modeled device/host time (0 when the stage
+      has no model);
+    * ``cells`` — DP cells the stage processed (0 for non-sweep stages);
+    * ``stats()`` — flat JSON-safe dict of the above plus every scalar
+      field and the lengths of sequence-valued fields.
+    """
+
+    #: Stage number as a string key ("1" .. "6"), the key used by
+    #: ``PipelineResult.stages()`` and the reports.
+    stage: ClassVar[str] = "?"
+
+    @property
+    def mcups_wall(self) -> float:
+        """Measured MCUPS of this stage's (CPU-simulated) work."""
+        return self.cells / max(self.wall_seconds, 1e-12) / 1e6
+
+    def stats(self) -> dict[str, Any]:
+        """Flat, JSON-safe statistics for reports, traces, manifests.
+
+        Scalars (bool/int/float/str fields) are included verbatim;
+        tuple/list fields contribute ``<name>_count`` entries; complex
+        objects (alignments, crosspoints, arrays) are omitted.
+        """
+        out: dict[str, Any] = {
+            "stage": type(self).stage,
+            "wall_seconds": float(self.wall_seconds),
+            "modeled_seconds": float(self.modeled_seconds),
+            "cells": int(self.cells),
+        }
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if field.name in out:
+                continue
+            if isinstance(value, (bool, int, float, str)):
+                out[field.name] = value
+            elif isinstance(value, (tuple, list)):
+                out[f"{field.name}_count"] = len(value)
+        return out
+
+    # Defaults so that duck-typed access works even on a subclass that
+    # defines neither a field nor a property for these (dataclass fields
+    # shadow them via instance attributes; properties override them on
+    # the subclass).
+    wall_seconds: float
+    modeled_seconds: float
+    cells: int
+
+
+def is_stage_result(obj: Any) -> bool:
+    """True when ``obj`` satisfies the stage-result contract."""
+    return (isinstance(obj, StageResult)
+            or all(hasattr(obj, name) for name in
+                   ("wall_seconds", "modeled_seconds", "cells", "stats")))

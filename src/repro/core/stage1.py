@@ -20,24 +20,29 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import ClassVar
 
 from repro.constants import TYPE_MATCH
 from repro.align.rowscan import RowSweeper
 from repro.core.checkpoint import clear_checkpoint, load_checkpoint, save_checkpoint
 from repro.core.config import PipelineConfig
 from repro.core.crosspoints import Crosspoint
+from repro.core.result import StageResult
 from repro.gpusim.grid import SweepGeometry
 from repro.gpusim.perf import stage1_vram_bytes, sweep_cost
 from repro.sequences.sequence import Sequence
 from repro.storage.sra import SavedLine, SpecialLineStore, special_row_positions
+from repro.telemetry.runtime import NULL_TELEMETRY
 
 #: SRA namespace of Stage 1's special rows.
 ROWS_NS = "stage1/rows"
 
 
 @dataclass(frozen=True)
-class Stage1Result:
+class Stage1Result(StageResult):
     """Best score, end point, and execution statistics of Stage 1."""
+
+    stage: ClassVar[str] = "1"
 
     best_score: int
     end_point: Crosspoint
@@ -53,11 +58,6 @@ class Stage1Result:
     resumed_from_row: int = 0
 
     @property
-    def mcups_wall(self) -> float:
-        """Measured MCUPS of this (CPU-simulated) sweep."""
-        return self.cells / max(self.wall_seconds, 1e-12) / 1e6
-
-    @property
     def mcups_modeled(self) -> float:
         """Modeled device MCUPS (the Table IV column)."""
         return self.cells / self.modeled_seconds / 1e6
@@ -67,68 +67,82 @@ def run_stage1(s0: Sequence, s1: Sequence, config: PipelineConfig,
                sra: SpecialLineStore, *,
                checkpoint_path: str | None = None,
                checkpoint_every_rows: int | None = None,
-               progress=None) -> Stage1Result:
+               progress=None, telemetry=None) -> Stage1Result:
     """Sweep the full matrix, track the best cell, flush special rows."""
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
     m, n = len(s0), len(s1)
     grid = config.grid1.shrink_to(n, config.device)
     rows = special_row_positions(m, n, grid.block_rows, sra.capacity_bytes)
     interval = rows[0] if rows else 0
 
     start = time.perf_counter()
-    sweep = RowSweeper(s0.codes, s1.codes, config.scheme, local=True,
-                       track_best=True, save_rows=rows)
-    resumed_from = 0
-    if checkpoint_path is not None:
-        state = load_checkpoint(checkpoint_path, m, n)
-        if state is not None:
-            sweep.load_state(state)
-            resumed_from = sweep.i
+    with tel.span("stage1", m=m, n=n, special_rows=len(rows)) as span:
+        sweep = RowSweeper(s0.codes, s1.codes, config.scheme, local=True,
+                           track_best=True, save_rows=rows,
+                           tracer=tel.tracer)
+        resumed_from = 0
+        if checkpoint_path is not None:
+            state = load_checkpoint(checkpoint_path, m, n)
+            if state is not None:
+                sweep.load_state(state)
+                resumed_from = sweep.i
 
-    in_sra = set(sra.positions(ROWS_NS))
-    flushed = len(in_sra) * 8 * (n + 1)
-    rows_since_checkpoint = 0
-    # Bands of one block row each: the numeric result is identical, but
-    # the loop boundary is where the simulated horizontal bus hands rows
-    # down — and where flushes and checkpoints happen.
-    while not sweep.done:
-        done = sweep.advance(grid.block_rows)
-        for r in sorted(sweep.saved):
-            if r in in_sra:
-                sweep.saved.pop(r)
-                continue
-            h, f = sweep.saved.pop(r)
-            sra.save(ROWS_NS, SavedLine(axis="row", position=r, lo=0,
-                                        H=h, G=f))
-            in_sra.add(r)
-            flushed += 8 * (n + 1)
-        if checkpoint_path is not None and checkpoint_every_rows:
-            rows_since_checkpoint += done
-            if rows_since_checkpoint >= checkpoint_every_rows and not sweep.done:
-                save_checkpoint(checkpoint_path, sweep, m, n)
-                rows_since_checkpoint = 0
-        if progress is not None:
-            progress("stage1", sweep.i / m)
-    if checkpoint_path is not None:
-        clear_checkpoint(checkpoint_path)
-    wall = time.perf_counter() - start
+        in_sra = set(sra.positions(ROWS_NS))
+        flushed = len(in_sra) * 8 * (n + 1)
+        rows_since_checkpoint = 0
+        # Bands of one block row each: the numeric result is identical, but
+        # the loop boundary is where the simulated horizontal bus hands rows
+        # down — and where flushes and checkpoints happen.
+        while not sweep.done:
+            done = sweep.advance(grid.block_rows)
+            for r in sorted(sweep.saved):
+                if r in in_sra:
+                    sweep.saved.pop(r)
+                    continue
+                h, f = sweep.saved.pop(r)
+                sra.save(ROWS_NS, SavedLine(axis="row", position=r, lo=0,
+                                            H=h, G=f))
+                in_sra.add(r)
+                flushed += 8 * (n + 1)
+            if checkpoint_path is not None and checkpoint_every_rows:
+                rows_since_checkpoint += done
+                if rows_since_checkpoint >= checkpoint_every_rows and not sweep.done:
+                    save_checkpoint(checkpoint_path, sweep, m, n,
+                                    tracer=tel.tracer)
+                    tel.metrics.counter("checkpoint.writes").add(1)
+                    rows_since_checkpoint = 0
+            fraction = sweep.i / m
+            tel.stage_progress("stage1", fraction)
+            if progress is not None:
+                progress("stage1", fraction)
+        if checkpoint_path is not None:
+            clear_checkpoint(checkpoint_path)
+        wall = time.perf_counter() - start
 
-    geometry = SweepGeometry(m, n, grid)
-    modeled = sweep_cost(m, n, grid, config.device, flushed_bytes=flushed)
-    modeled_plain = sweep_cost(m, n, grid, config.device)
+        geometry = SweepGeometry(m, n, grid)
+        modeled = sweep_cost(m, n, grid, config.device, flushed_bytes=flushed)
+        modeled_plain = sweep_cost(m, n, grid, config.device)
 
-    end_point = Crosspoint(sweep.best_pos[0], sweep.best_pos[1],
-                           sweep.best, TYPE_MATCH)
-    return Stage1Result(
-        best_score=sweep.best,
-        end_point=end_point,
-        special_rows=tuple(sorted(in_sra)),
-        flush_interval_rows=interval,
-        cells=sweep.cells,
-        flushed_bytes=flushed,
-        external_diagonals=geometry.external_diagonals,
-        vram_bytes=stage1_vram_bytes(m, n, grid),
-        wall_seconds=wall,
-        modeled_seconds=modeled.seconds,
-        modeled_seconds_no_flush=modeled_plain.seconds,
-        resumed_from_row=resumed_from,
-    )
+        end_point = Crosspoint(sweep.best_pos[0], sweep.best_pos[1],
+                               sweep.best, TYPE_MATCH)
+        result = Stage1Result(
+            best_score=sweep.best,
+            end_point=end_point,
+            special_rows=tuple(sorted(in_sra)),
+            flush_interval_rows=interval,
+            cells=sweep.cells,
+            flushed_bytes=flushed,
+            external_diagonals=geometry.external_diagonals,
+            vram_bytes=stage1_vram_bytes(m, n, grid),
+            wall_seconds=wall,
+            modeled_seconds=modeled.seconds,
+            modeled_seconds_no_flush=modeled_plain.seconds,
+            resumed_from_row=resumed_from,
+        )
+        span.set(best_score=result.best_score, cells=result.cells,
+                 flushed_bytes=result.flushed_bytes,
+                 wall_seconds=result.wall_seconds)
+        tel.metrics.counter("cells.swept").add(result.cells)
+        tel.metrics.counter("stage1.flushed_bytes").add(result.flushed_bytes)
+        tel.metrics.gauge("stage1.mcups").set(result.mcups_wall)
+        return result

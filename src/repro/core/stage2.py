@@ -30,6 +30,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
@@ -38,10 +39,12 @@ from repro.errors import MatchingError
 from repro.align.rowscan import RowSweeper
 from repro.core.config import PipelineConfig
 from repro.core.crosspoints import Crosspoint
+from repro.core.result import StageResult
 from repro.core.stage1 import ROWS_NS, Stage1Result
 from repro.gpusim.perf import stage2_vram_bytes, sweep_cost
 from repro.sequences.sequence import Sequence
 from repro.storage.sra import SavedLine, SpecialLineStore
+from repro.telemetry.runtime import NULL_TELEMETRY
 
 
 @dataclass(frozen=True)
@@ -62,8 +65,10 @@ class BandRecord:
 
 
 @dataclass(frozen=True)
-class Stage2Result:
+class Stage2Result(StageResult):
     """Crosspoints over special rows, plus per-band saved columns."""
+
+    stage: ClassVar[str] = "2"
 
     crosspoints: tuple[Crosspoint, ...]  # start ... end (ascending)
     bands: tuple[BandRecord, ...]        # ascending by lo.i
@@ -76,8 +81,23 @@ class Stage2Result:
 
 def run_stage2(s0: Sequence, s1: Sequence, config: PipelineConfig,
                sra: SpecialLineStore, sca: SpecialLineStore,
-               stage1: Stage1Result) -> Stage2Result:
+               stage1: Stage1Result, *, telemetry=None) -> Stage2Result:
     """Walk the optimal path backwards from the Stage-1 end point."""
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tel.span("stage2", m=len(s0), n=len(s1)) as stage_span:
+        result = _run_stage2(s0, s1, config, sra, sca, stage1, tel)
+        stage_span.set(cells=result.cells, bands=len(result.bands),
+                       crosspoints=len(result.crosspoints),
+                       wall_seconds=result.wall_seconds)
+        tel.metrics.counter("cells.swept").add(result.cells)
+        tel.metrics.gauge("crosspoints.L2").set(len(result.crosspoints))
+        tel.metrics.counter("stage2.flushed_bytes").add(result.flushed_bytes)
+        return result
+
+
+def _run_stage2(s0: Sequence, s1: Sequence, config: PipelineConfig,
+                sra: SpecialLineStore, sca: SpecialLineStore,
+                stage1: Stage1Result, tel) -> Stage2Result:
     scheme = config.scheme
     gopen = scheme.gap_open
     special_rows = sra.positions(ROWS_NS)
@@ -127,7 +147,7 @@ def run_stage2(s0: Sequence, s1: Sequence, config: PipelineConfig,
             s1.codes[:w][::-1], s0.codes[r_row:anchor.i][::-1], scheme,
             start_gap=swap_gap_type(anchor.type), forced=anchor.type != TYPE_MATCH,
             tap_columns=np.array([h]), save_rows=save_rows or None,
-            watch_value=goal)
+            watch_value=goal, tracer=tel.tracer)
 
         found: Crosspoint | None = None
         next_p = 0
@@ -196,6 +216,9 @@ def run_stage2(s0: Sequence, s1: Sequence, config: PipelineConfig,
         points.append(found)
         anchor = found
         band_idx += 1
+        # Walked distance back toward the alignment start, as a fraction
+        # of the end point's row (the best proxy for remaining work).
+        tel.stage_progress("stage2", 1.0 - anchor.i / max(1, stage1.end_point.i))
 
     wall = time.perf_counter() - start
     points.reverse()

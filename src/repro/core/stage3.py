@@ -25,6 +25,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
@@ -33,15 +34,19 @@ from repro.errors import MatchingError
 from repro.align.rowscan import RowSweeper
 from repro.core.config import PipelineConfig
 from repro.core.crosspoints import Crosspoint
+from repro.core.result import StageResult
 from repro.core.stage2 import BandRecord, Stage2Result
 from repro.gpusim.perf import stage3_vram_bytes, sweep_cost
 from repro.sequences.sequence import Sequence
 from repro.storage.sra import SpecialLineStore
+from repro.telemetry.runtime import NULL_TELEMETRY
 
 
 @dataclass(frozen=True)
-class Stage3Result:
+class Stage3Result(StageResult):
     """The refined crosspoint chain and execution statistics."""
+
+    stage: ClassVar[str] = "3"
 
     crosspoints: tuple[Crosspoint, ...]
     cells: int
@@ -66,7 +71,7 @@ def _match_on_row(anchor: Crosspoint, jc: int, line, scheme, goal: int
 
 
 def _split_band(s0: Sequence, s1: Sequence, config: PipelineConfig,
-                sca: SpecialLineStore, band: BandRecord
+                sca: SpecialLineStore, band: BandRecord, tracer=None
                 ) -> tuple[list[Crosspoint], int, float]:
     """Find the crosspoints of one partition; returns (points, cells, t_model)."""
     scheme = config.scheme
@@ -93,7 +98,7 @@ def _split_band(s0: Sequence, s1: Sequence, config: PipelineConfig,
 
         sweep = RowSweeper(s0.codes[anchor.i:end.i], s1.codes[anchor.j:jc],
                            scheme, start_gap=anchor.type,
-                           tap_columns=np.array([w]))
+                           tap_columns=np.array([w]), tracer=tracer)
         found: Crosspoint | None = None
         next_i = 0
         while found is None:
@@ -134,42 +139,54 @@ def _split_band(s0: Sequence, s1: Sequence, config: PipelineConfig,
 
 
 def run_stage3(s0: Sequence, s1: Sequence, config: PipelineConfig,
-               sca: SpecialLineStore, stage2: Stage2Result) -> Stage3Result:
+               sca: SpecialLineStore, stage2: Stage2Result, *,
+               telemetry=None) -> Stage3Result:
     """Refine every Stage-2 partition against its saved special columns."""
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
     start = time.perf_counter()
     total_cells = 0
     modeled = 0.0
 
-    def work(band: BandRecord):
-        return _split_band(s0, s1, config, sca, band)
+    with tel.span("stage3", bands=len(stage2.bands)) as stage_span:
 
-    if config.workers > 1:
-        with ThreadPoolExecutor(max_workers=config.workers) as pool:
-            results = list(pool.map(work, stage2.bands))
-    else:
-        results = [work(band) for band in stage2.bands]
+        def work(band: BandRecord):
+            # Re-anchor worker-thread spans under the stage span.
+            with tel.attach(stage_span):
+                return _split_band(s0, s1, config, sca, band, tel.tracer)
 
-    chain: list[Crosspoint] = [stage2.crosspoints[0]]
-    widths: list[int] = []
-    for band, (points, cells, t_model) in zip(stage2.bands, results):
-        total_cells += cells
-        modeled += t_model
-        chain.extend(points)
-        chain.append(band.hi)
-        prev = band.lo
-        for point in (*points, band.hi):
-            widths.append(max(1, point.j - prev.j))
-            prev = point
-        sca.release(band.namespace)
+        if config.workers > 1:
+            with ThreadPoolExecutor(max_workers=config.workers) as pool:
+                results = list(pool.map(work, stage2.bands))
+        else:
+            results = [work(band) for band in stage2.bands]
 
-    min_width = min(widths) if widths else len(s1)
-    b3 = config.grid3.shrink_to(min_width, config.device).blocks
-    wall = time.perf_counter() - start
-    return Stage3Result(
-        crosspoints=tuple(chain),
-        cells=total_cells,
-        effective_blocks=b3,
-        vram_bytes=stage3_vram_bytes(len(s0), len(s1), config.grid3),
-        wall_seconds=wall,
-        modeled_seconds=modeled,
-    )
+        chain: list[Crosspoint] = [stage2.crosspoints[0]]
+        widths: list[int] = []
+        for band, (points, cells, t_model) in zip(stage2.bands, results):
+            total_cells += cells
+            modeled += t_model
+            chain.extend(points)
+            chain.append(band.hi)
+            prev = band.lo
+            for point in (*points, band.hi):
+                widths.append(max(1, point.j - prev.j))
+                prev = point
+            sca.release(band.namespace)
+
+        min_width = min(widths) if widths else len(s1)
+        b3 = config.grid3.shrink_to(min_width, config.device).blocks
+        wall = time.perf_counter() - start
+        result = Stage3Result(
+            crosspoints=tuple(chain),
+            cells=total_cells,
+            effective_blocks=b3,
+            vram_bytes=stage3_vram_bytes(len(s0), len(s1), config.grid3),
+            wall_seconds=wall,
+            modeled_seconds=modeled,
+        )
+        stage_span.set(cells=result.cells,
+                       crosspoints=len(result.crosspoints),
+                       wall_seconds=result.wall_seconds)
+        tel.metrics.counter("cells.swept").add(result.cells)
+        tel.metrics.gauge("crosspoints.L3").set(len(result.crosspoints))
+        return result

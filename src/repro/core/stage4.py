@@ -27,14 +27,17 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import ClassVar
 
 from repro.constants import TYPE_MATCH, swap_gap_type
 from repro.errors import PartitionError
 from repro.align.myers_miller import MMConfig, MMStats, find_midpoint
 from repro.core.config import PipelineConfig
 from repro.core.crosspoints import Crosspoint, CrosspointChain, Partition
+from repro.core.result import StageResult
 from repro.gpusim.perf import host_seconds
 from repro.sequences.sequence import Sequence
+from repro.telemetry.runtime import NULL_TELEMETRY
 
 
 @dataclass(frozen=True)
@@ -51,7 +54,9 @@ class Stage4Iteration:
 
 
 @dataclass(frozen=True)
-class Stage4Result:
+class Stage4Result(StageResult):
+    stage: ClassVar[str] = "4"
+
     crosspoints: tuple[Crosspoint, ...]
     iterations: tuple[Stage4Iteration, ...]
     cells: int
@@ -61,7 +66,7 @@ class Stage4Result:
 
 def split_partition(s0: Sequence, s1: Sequence, partition: Partition,
                     config: PipelineConfig, mm_config: MMConfig,
-                    stats: MMStats) -> Crosspoint:
+                    stats: MMStats, *, tracer=None) -> Crosspoint:
     """One balanced, goal-guided Myers-Miller split of a partition."""
     start, end = partition.start, partition.end
     h, w = partition.height, partition.width
@@ -75,12 +80,13 @@ def split_partition(s0: Sequence, s1: Sequence, partition: Partition,
         r, j, join, top_value = find_midpoint(
             codes1, codes0, config.scheme,
             start_gap=swap_gap_type(start.type), end_gap=swap_gap_type(end.type),
-            goal=goal, config=mm_config, stats=stats)
+            goal=goal, config=mm_config, stats=stats, tracer=tracer)
         return Crosspoint(start.i + j, start.j + r,
                           start.score + top_value, swap_gap_type(join))
     r, j, join, top_value = find_midpoint(
         codes0, codes1, config.scheme, start_gap=start.type,
-        end_gap=end.type, goal=goal, config=mm_config, stats=stats)
+        end_gap=end.type, goal=goal, config=mm_config, stats=stats,
+        tracer=tracer)
     return Crosspoint(start.i + r, start.j + j, start.score + top_value, join)
 
 
@@ -89,8 +95,9 @@ def _oversized(partition: Partition, limit: int) -> bool:
 
 
 def run_stage4(s0: Sequence, s1: Sequence, config: PipelineConfig,
-               chain: CrosspointChain) -> Stage4Result:
+               chain: CrosspointChain, *, telemetry=None) -> Stage4Result:
     """Refine the chain until every partition fits max_partition_size."""
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
     mm_config = MMConfig(orthogonal=config.stage4_orthogonal,
                          balanced=config.stage4_balanced,
                          strip=max(1, config.max_partition_size))
@@ -99,60 +106,75 @@ def run_stage4(s0: Sequence, s1: Sequence, config: PipelineConfig,
     total_cells = 0
     total_wall = 0.0
     total_modeled = 0.0
+    total_splits = 0
 
-    it = 0
-    while True:
-        partitions = chain.partitions()
-        todo = [(k, p) for k, p in enumerate(partitions) if _oversized(p, limit)]
-        if not todo:
-            break
-        it += 1
-        tick = time.perf_counter()
-        stats = MMStats()
+    with tel.span("stage4", max_partition_size=limit) as stage_span:
+        it = 0
+        while True:
+            partitions = chain.partitions()
+            todo = [(k, p) for k, p in enumerate(partitions)
+                    if _oversized(p, limit)]
+            if not todo:
+                break
+            it += 1
+            tick = time.perf_counter()
+            stats = MMStats()
 
-        def split(item):
-            _, p = item
-            local = MMStats()
-            point = split_partition(s0, s1, p, config, mm_config, local)
-            return point, local
+            def split(item):
+                _, p = item
+                local = MMStats()
+                # Re-anchor worker-thread spans under the stage span.
+                with tel.attach(stage_span):
+                    point = split_partition(s0, s1, p, config, mm_config,
+                                            local, tracer=tel.tracer)
+                return point, local
 
-        if config.workers > 1:
-            with ThreadPoolExecutor(max_workers=config.workers) as pool:
-                results = list(pool.map(split, todo))
-        else:
-            results = [split(item) for item in todo]
+            if config.workers > 1:
+                with ThreadPoolExecutor(max_workers=config.workers) as pool:
+                    results = list(pool.map(split, todo))
+            else:
+                results = [split(item) for item in todo]
 
-        points: list[Crosspoint] = list(chain.points)
-        # Insert new crosspoints after their partition's start point; walk
-        # in reverse so earlier indices stay valid.
-        for (k, _), (point, local) in sorted(zip(todo, results),
-                                             key=lambda t: -t[0][0]):
-            points.insert(k + 1, point)
-            stats.cells_forward += local.cells_forward
-            stats.cells_reverse += local.cells_reverse
-        new_chain = CrosspointChain(points)
-        wall = time.perf_counter() - tick
-        cells = stats.cells_forward + stats.cells_reverse
-        modeled = host_seconds(cells, config.host, threads=config.workers)
-        parts_before = partitions
-        iterations.append(Stage4Iteration(
-            index=it,
-            h_max=max(p.height for p in parts_before),
-            w_max=max(p.width for p in parts_before),
-            crosspoints=len(chain),
-            cells=cells,
-            wall_seconds=wall,
-            modeled_seconds=modeled,
-        ))
-        total_cells += cells
-        total_wall += wall
-        total_modeled += modeled
-        chain = new_chain
+            points: list[Crosspoint] = list(chain.points)
+            # Insert new crosspoints after their partition's start point;
+            # walk in reverse so earlier indices stay valid.
+            for (k, _), (point, local) in sorted(zip(todo, results),
+                                                 key=lambda t: -t[0][0]):
+                points.insert(k + 1, point)
+                stats.cells_forward += local.cells_forward
+                stats.cells_reverse += local.cells_reverse
+            new_chain = CrosspointChain(points)
+            wall = time.perf_counter() - tick
+            cells = stats.cells_forward + stats.cells_reverse
+            modeled = host_seconds(cells, config.host, threads=config.workers)
+            parts_before = partitions
+            iterations.append(Stage4Iteration(
+                index=it,
+                h_max=max(p.height for p in parts_before),
+                w_max=max(p.width for p in parts_before),
+                crosspoints=len(chain),
+                cells=cells,
+                wall_seconds=wall,
+                modeled_seconds=modeled,
+            ))
+            total_cells += cells
+            total_wall += wall
+            total_modeled += modeled
+            total_splits += len(todo)
+            chain = new_chain
 
-    return Stage4Result(
-        crosspoints=chain.points,
-        iterations=tuple(iterations),
-        cells=total_cells,
-        wall_seconds=total_wall,
-        modeled_seconds=total_modeled,
-    )
+        result = Stage4Result(
+            crosspoints=chain.points,
+            iterations=tuple(iterations),
+            cells=total_cells,
+            wall_seconds=total_wall,
+            modeled_seconds=total_modeled,
+        )
+        stage_span.set(iterations=it, splits=total_splits,
+                       cells=result.cells,
+                       crosspoints=len(result.crosspoints),
+                       wall_seconds=result.wall_seconds)
+        tel.metrics.counter("cells.swept").add(result.cells)
+        tel.metrics.counter("stage4.partitions_split").add(total_splits)
+        tel.metrics.gauge("crosspoints.L4").set(len(result.crosspoints))
+        return result

@@ -17,6 +17,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import ClassVar
 
 from repro.errors import PartitionError
 from repro.align.alignment import Alignment
@@ -24,13 +25,17 @@ from repro.align.full_matrix import global_align
 from repro.align.myers_miller import degenerate_alignment
 from repro.core.config import PipelineConfig
 from repro.core.crosspoints import CrosspointChain, Partition
+from repro.core.result import StageResult
 from repro.gpusim.perf import host_seconds
 from repro.sequences.sequence import Sequence
 from repro.storage.binary_alignment import BinaryAlignment
+from repro.telemetry.runtime import NULL_TELEMETRY
 
 
 @dataclass(frozen=True)
-class Stage5Result:
+class Stage5Result(StageResult):
+    stage: ClassVar[str] = "5"
+
     alignment: Alignment
     binary: BinaryAlignment
     partitions_aligned: int
@@ -57,8 +62,9 @@ def align_partition(s0: Sequence, s1: Sequence, partition: Partition,
 
 
 def run_stage5(s0: Sequence, s1: Sequence, config: PipelineConfig,
-               chain: CrosspointChain) -> Stage5Result:
+               chain: CrosspointChain, *, telemetry=None) -> Stage5Result:
     """Align all partitions, concatenate, emit the binary representation."""
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
     tick = time.perf_counter()
     partitions = chain.partitions()
     for p in partitions:
@@ -67,31 +73,38 @@ def run_stage5(s0: Sequence, s1: Sequence, config: PipelineConfig,
                 f"stage 5 received an oversized partition ({p.max_dim} > "
                 f"{config.max_partition_size}); stage 4 must run first")
 
-    def work(p: Partition):
-        return align_partition(s0, s1, p, config)
+    with tel.span("stage5", partitions=len(partitions)) as stage_span:
 
-    if config.workers > 1:
-        with ThreadPoolExecutor(max_workers=config.workers) as pool:
-            results = list(pool.map(work, partitions))
-    else:
-        results = [work(p) for p in partitions]
+        def work(p: Partition):
+            return align_partition(s0, s1, p, config)
 
-    pieces = [path for path, _ in results]
-    cells = sum(c for _, c in results)
-    alignment = Alignment.concat_all(pieces)
-    best = chain.best_score
-    rescored = alignment.score(s0, s1, config.scheme)
-    if rescored != best:
-        raise PartitionError(
-            f"concatenated alignment rescored to {rescored}, expected {best}")
-    binary = BinaryAlignment.from_alignment(alignment, best)
-    wall = time.perf_counter() - tick
-    return Stage5Result(
-        alignment=alignment,
-        binary=binary,
-        partitions_aligned=len(partitions),
-        cells=cells,
-        wall_seconds=wall,
-        modeled_seconds=host_seconds(cells, config.host,
-                                     threads=config.workers),
-    )
+        if config.workers > 1:
+            with ThreadPoolExecutor(max_workers=config.workers) as pool:
+                results = list(pool.map(work, partitions))
+        else:
+            results = [work(p) for p in partitions]
+
+        pieces = [path for path, _ in results]
+        cells = sum(c for _, c in results)
+        alignment = Alignment.concat_all(pieces)
+        best = chain.best_score
+        rescored = alignment.score(s0, s1, config.scheme)
+        if rescored != best:
+            raise PartitionError(
+                f"concatenated alignment rescored to {rescored}, expected {best}")
+        binary = BinaryAlignment.from_alignment(alignment, best)
+        wall = time.perf_counter() - tick
+        result = Stage5Result(
+            alignment=alignment,
+            binary=binary,
+            partitions_aligned=len(partitions),
+            cells=cells,
+            wall_seconds=wall,
+            modeled_seconds=host_seconds(cells, config.host,
+                                         threads=config.workers),
+        )
+        stage_span.set(cells=result.cells,
+                       partitions=result.partitions_aligned,
+                       score=best, wall_seconds=result.wall_seconds)
+        tel.metrics.counter("cells.swept").add(result.cells)
+        return result

@@ -9,23 +9,39 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import ClassVar
 
 from repro.align.alignment import Alignment
 from repro.core.config import PipelineConfig
+from repro.core.result import StageResult
 from repro.sequences.sequence import Sequence
 from repro.storage.binary_alignment import BinaryAlignment
+from repro.telemetry.runtime import NULL_TELEMETRY
 from repro.viz.text_render import render_alignment_text
 from repro.viz.dotplot import ascii_dotplot
 
 
 @dataclass(frozen=True)
-class Stage6Result:
+class Stage6Result(StageResult):
+    stage: ClassVar[str] = "6"
+
     alignment: Alignment
     text: str
     dotplot: str
     text_bytes: int
     binary_bytes: int
     wall_seconds: float
+
+    # Rendering is host-side work outside the performance model, and it
+    # sweeps no DP cells — the properties below keep the StageResult
+    # contract uniform without storing redundant fields.
+    @property
+    def modeled_seconds(self) -> float:
+        return self.wall_seconds
+
+    @property
+    def cells(self) -> int:
+        return 0
 
     @property
     def compression_ratio(self) -> float:
@@ -35,18 +51,23 @@ class Stage6Result:
 
 def run_stage6(s0: Sequence, s1: Sequence, config: PipelineConfig,
                binary: BinaryAlignment, *, width: int = 60,
-               plot_size: int = 48) -> Stage6Result:
+               plot_size: int = 48, telemetry=None) -> Stage6Result:
     """Reconstruct and render the alignment from its binary form."""
-    tick = time.perf_counter()
-    alignment = binary.reconstruct()
-    text = render_alignment_text(alignment, s0, s1, width=width)
-    plot = ascii_dotplot(alignment, len(s0), len(s1), size=plot_size)
-    wall = time.perf_counter() - tick
-    return Stage6Result(
-        alignment=alignment,
-        text=text,
-        dotplot=plot,
-        text_bytes=len(text.encode()),
-        binary_bytes=binary.nbytes,
-        wall_seconds=wall,
-    )
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tel.span("stage6", binary_bytes=binary.nbytes) as stage_span:
+        tick = time.perf_counter()
+        alignment = binary.reconstruct()
+        text = render_alignment_text(alignment, s0, s1, width=width)
+        plot = ascii_dotplot(alignment, len(s0), len(s1), size=plot_size)
+        wall = time.perf_counter() - tick
+        result = Stage6Result(
+            alignment=alignment,
+            text=text,
+            dotplot=plot,
+            text_bytes=len(text.encode()),
+            binary_bytes=binary.nbytes,
+            wall_seconds=wall,
+        )
+        stage_span.set(text_bytes=result.text_bytes,
+                       wall_seconds=result.wall_seconds)
+        return result

@@ -72,7 +72,7 @@ def _stage_table(out: io.StringIO, results: dict[str, PipelineResult]) -> None:
                                               ("1", "2", "3", "4", "5", "6"))
               + f" {'total':>9}\n")
     for key, result in results.items():
-        walls = result.stage_wall_seconds
+        walls = result.stage_wall_seconds()
         out.write(f"{key:<16}" + "".join(
             f" {walls[k]:>8.3f}" for k in ("1", "2", "3", "4", "5", "6"))
             + f" {sum(walls.values()):>9.3f}\n")
@@ -93,6 +93,22 @@ def _sra_sweep_table(out: io.StringIO, entry: CatalogEntry,
                   f"{len(result.stage2.crosspoints):>6} "
                   f"{(len(result.stage3.crosspoints) if result.stage3 else 0):>6} "
                   f"{(len(result.stage4.iterations) if result.stage4 else 0):>9}\n")
+
+
+def _stats_table(out: io.StringIO, result: PipelineResult) -> None:
+    """Generic per-stage statistics via the StageResult.stats() contract."""
+    for key, stats in sorted(result.stage_stats().items()):
+        pairs = []
+        for name, value in stats.items():
+            if name == "stage":
+                continue
+            if isinstance(value, float):
+                pairs.append(f"{name}={value:.4g}")
+            elif isinstance(value, int):
+                pairs.append(f"{name}={value:,}")
+            else:
+                pairs.append(f"{name}={value}")
+        out.write(f"stage {key}: " + "  ".join(pairs) + "\n")
 
 
 def _composition_table(out: io.StringIO, result: PipelineResult) -> None:
@@ -156,6 +172,8 @@ def generate_report(options: ReportOptions | None = None) -> str:
                       f"{it.crosspoints:>12,}\n")
     _section(out, "Alignment composition (Table X analogue)")
     _composition_table(out, flagship)
+    _section(out, "Per-stage statistics (StageResult.stats())")
+    _stats_table(out, flagship)
     if options.include_modeled:
         _section(out, "Paper-scale projections (modeled)")
         _modeled_tables(out)

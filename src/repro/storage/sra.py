@@ -102,7 +102,8 @@ class SpecialLineStore:
     the paper measures; otherwise lines stay in memory.
     """
 
-    def __init__(self, capacity_bytes: int, directory: str | os.PathLike | None = None):
+    def __init__(self, capacity_bytes: int, directory: str | os.PathLike | None = None,
+                 *, tracer=None):
         if capacity_bytes < 0:
             raise StorageError("capacity must be non-negative")
         self.capacity_bytes = int(capacity_bytes)
@@ -111,10 +112,23 @@ class SpecialLineStore:
             os.makedirs(self.directory, exist_ok=True)
         self.bytes_used = 0
         self.bytes_written = 0  # lifetime flush traffic (perf model input)
+        self.bytes_read = 0     # lifetime load traffic
+        #: Optional :class:`repro.telemetry.Tracer`; when set, every flush
+        #: and load is wrapped in an ``sra.flush`` / ``sra.load`` span.
+        self.tracer = tracer
         self._lines: dict[tuple[str, int], SavedLine] = {}
 
     def save(self, namespace: str, line: SavedLine) -> None:
         """Store a line, enforcing the byte budget."""
+        if self.tracer is not None:
+            with self.tracer.span("sra.flush", namespace=namespace,
+                                  position=line.position,
+                                  nbytes=line.nbytes):
+                self._save(namespace, line)
+            return
+        self._save(namespace, line)
+
+    def _save(self, namespace: str, line: SavedLine) -> None:
         key = (namespace, line.position)
         if key in self._lines:
             raise StorageError(f"line {key} already saved")
@@ -139,6 +153,14 @@ class SpecialLineStore:
             meta = self._lines[key]
         except KeyError:
             raise StorageError(f"no special line saved at {key}") from None
+        self.bytes_read += meta.nbytes
+        if self.tracer is not None:
+            with self.tracer.span("sra.load", namespace=namespace,
+                                  position=position, nbytes=meta.nbytes):
+                return self._load(meta, namespace, position)
+        return self._load(meta, namespace, position)
+
+    def _load(self, meta: SavedLine, namespace: str, position: int) -> SavedLine:
         if self.directory is None:
             return meta
         payload = np.fromfile(self._path(namespace, position), dtype=SCORE_DTYPE)

@@ -1,0 +1,49 @@
+"""Tracing and metrics for the six-stage pipeline (dependency-free).
+
+The observability substrate of the reproduction (the measurement layer
+behind the paper's Tables IV-IX): nestable timed :class:`Span`\\ s, a
+:class:`MetricsRegistry` of counters/gauges/histograms, pluggable sinks
+(in-memory, JSON-lines trace file, live stderr rendering), the typed
+:class:`PipelineObserver` API, and the run manifest.
+
+Quick use::
+
+    from repro.telemetry import InMemorySink, JsonLinesSink
+    sink = JsonLinesSink("trace.jsonl")
+    result = CUDAlign(config, sinks=[sink]).run(s0, s1)
+    sink.close()
+"""
+
+from repro.telemetry.manifest import (
+    MANIFEST_VERSION,
+    build_manifest,
+    json_safe,
+    read_manifest,
+    sequence_digest,
+    write_manifest,
+)
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.observer import (
+    CallbackObserver,
+    PipelineObserver,
+    ProgressRenderer,
+    as_observer,
+)
+from repro.telemetry.runtime import NULL_TELEMETRY, NullTelemetry, Telemetry
+from repro.telemetry.sinks import (
+    InMemorySink,
+    JsonLinesSink,
+    StderrSink,
+    TelemetrySink,
+)
+from repro.telemetry.spans import Span, Tracer
+
+__all__ = [
+    "Span", "Tracer",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "TelemetrySink", "InMemorySink", "JsonLinesSink", "StderrSink",
+    "PipelineObserver", "CallbackObserver", "ProgressRenderer", "as_observer",
+    "Telemetry", "NullTelemetry", "NULL_TELEMETRY",
+    "MANIFEST_VERSION", "build_manifest", "write_manifest", "read_manifest",
+    "sequence_digest", "json_safe",
+]

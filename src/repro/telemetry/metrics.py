@@ -1,0 +1,136 @@
+"""Metrics: counters, gauges and histograms for the pipeline.
+
+The registry is the single place run-level numbers accumulate — cells
+swept, MCUPS, bytes flushed and read, crosspoints found, partitions
+split, checkpoint writes — so reports, the manifest and benchmark
+harnesses all read the same ledger instead of re-deriving the numbers
+from six differently-shaped stage results.
+
+Every update is forwarded to the registry's sinks as an
+``on_metric(name, kind, value)`` event, which is how the JSON-lines
+trace records metric updates and how :class:`~repro.telemetry.observer.
+PipelineObserver.on_metric` notifications are produced.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+
+class Counter:
+    """Monotonically increasing sum."""
+
+    __slots__ = ("name", "value", "_registry")
+
+    def __init__(self, name: str, registry: "MetricsRegistry"):
+        self.name = name
+        self.value = 0
+        self._registry = registry
+
+    def add(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+        self._registry._emit(self.name, "counter", self.value)
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("name", "value", "_registry")
+
+    def __init__(self, name: str, registry: "MetricsRegistry"):
+        self.name = name
+        self.value: int | float = 0
+        self._registry = registry
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+        self._registry._emit(self.name, "gauge", value)
+
+
+class Histogram:
+    """Streaming summary (count / total / min / max / mean)."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_registry")
+
+    def __init__(self, name: str, registry: "MetricsRegistry"):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._registry = registry
+
+    def observe(self, value: int | float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self._registry._emit(self.name, "histogram", value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float | int | None]:
+        return {"count": self.count, "total": self.total,
+                "min": self.min, "max": self.max, "mean": self.mean}
+
+
+class MetricsRegistry:
+    """Named, typed instruments with get-or-create semantics.
+
+    A name is bound to one instrument kind for the registry's lifetime;
+    asking for the same name with a different kind raises ``ValueError``
+    (silent aliasing would corrupt the ledger).
+    """
+
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self, sinks: tuple = ()):
+        self.sinks = tuple(sinks)
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Any] = {}
+
+    def _get(self, name: str, kind: str):
+        cls = self._KINDS[kind]
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = cls(name, self)
+            elif not isinstance(instrument, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__.lower()}, not {kind}")
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, "gauge")
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, "histogram")
+
+    def _emit(self, name: str, kind: str, value: int | float) -> None:
+        for sink in self.sinks:
+            sink.on_metric(name, kind, value)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe view: name -> value (histograms -> summary dict)."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        out: dict[str, Any] = {}
+        for name, instrument in items:
+            if isinstance(instrument, Histogram):
+                out[name] = instrument.summary()
+            else:
+                out[name] = instrument.value
+        return out
+
+    def __len__(self) -> int:
+        return len(self._instruments)

@@ -1,0 +1,117 @@
+"""The pipeline-facing observer API.
+
+:class:`PipelineObserver` replaces the bare ``progress(stage, fraction)``
+callable the pipeline used to take: observers get typed notifications
+for stage starts, in-stage progress, stage completions (with the stage's
+result object) and metric updates.  Subclass it and override what you
+need — every hook is a no-op by default.
+
+Backward compatibility: a plain callable passed where an observer is
+expected is wrapped in :class:`CallbackObserver` (with a
+``DeprecationWarning``), which forwards progress fractions and emits the
+historical ``(stage, 1.0)`` tick at each stage end.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import warnings
+from typing import Any, Callable, IO
+
+
+class PipelineObserver:
+    """Typed pipeline notifications; override any subset of the hooks.
+
+    ``stage`` arguments are the span names ``"stage1"`` .. ``"stage6"``;
+    ``result`` is the stage's :class:`~repro.core.result.StageResult`
+    (or ``None`` for a stage that produced none).
+    """
+
+    def on_stage_start(self, stage: str) -> None:
+        pass
+
+    def on_stage_progress(self, stage: str, fraction: float) -> None:
+        pass
+
+    def on_stage_end(self, stage: str, result: Any | None) -> None:
+        pass
+
+    def on_metric(self, name: str, value: int | float) -> None:
+        pass
+
+
+class CallbackObserver(PipelineObserver):
+    """Adapts a legacy ``progress(stage, fraction)`` callable."""
+
+    def __init__(self, callback: Callable[[str, float], None]):
+        if not callable(callback):
+            raise TypeError("CallbackObserver needs a callable")
+        self.callback = callback
+
+    def on_stage_progress(self, stage: str, fraction: float) -> None:
+        self.callback(stage, fraction)
+
+    def on_stage_end(self, stage: str, result: Any | None) -> None:
+        # The legacy contract: one (stage, 1.0) tick per completed stage.
+        self.callback(stage, 1.0)
+
+
+def as_observer(candidate: PipelineObserver | Callable[[str, float], None],
+                *, warn: bool = True) -> PipelineObserver:
+    """Coerce an observer-or-callable into a :class:`PipelineObserver`.
+
+    Objects exposing the observer hooks pass through; bare callables are
+    wrapped in :class:`CallbackObserver`, with a ``DeprecationWarning``
+    unless ``warn`` is false.
+    """
+    if isinstance(candidate, PipelineObserver):
+        return candidate
+    if hasattr(candidate, "on_stage_progress") or hasattr(candidate,
+                                                          "on_stage_end"):
+        return candidate  # duck-typed observer
+    if callable(candidate):
+        if warn:
+            warnings.warn(
+                "passing a bare progress callable is deprecated; implement "
+                "repro.telemetry.PipelineObserver instead",
+                DeprecationWarning, stacklevel=3)
+        return CallbackObserver(candidate)
+    raise TypeError(f"{candidate!r} is neither an observer nor a callable")
+
+
+class ProgressRenderer(PipelineObserver):
+    """Human-readable live progress (the CLI's ``--progress`` view).
+
+    Prints one line per stage start, decile progress updates for the
+    long sweep of Stage 1, and a completion line with the stage's wall
+    seconds and cell throughput when available.
+    """
+
+    def __init__(self, stream: IO[str] | None = None):
+        self.stream = stream if stream is not None else sys.stderr
+        self._started: dict[str, float] = {}
+        self._decile: dict[str, int] = {}
+
+    def _print(self, text: str) -> None:
+        print(text, file=self.stream, flush=True)
+
+    def on_stage_start(self, stage: str) -> None:
+        self._started[stage] = time.perf_counter()
+        self._decile[stage] = -1
+        self._print(f"[{stage}] started")
+
+    def on_stage_progress(self, stage: str, fraction: float) -> None:
+        decile = int(fraction * 10)
+        if decile > self._decile.get(stage, -1):
+            self._decile[stage] = decile
+            self._print(f"[{stage}] {fraction:6.1%}")
+
+    def on_stage_end(self, stage: str, result: Any | None) -> None:
+        elapsed = time.perf_counter() - self._started.get(
+            stage, time.perf_counter())
+        extra = ""
+        cells = getattr(result, "cells", 0)
+        if cells:
+            extra = f"  ({cells / max(elapsed, 1e-12) / 1e6:,.1f} MCUPS)"
+        self._print(f"[{stage}] done in {elapsed:.3f}s{extra}")

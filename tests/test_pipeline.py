@@ -189,7 +189,7 @@ class TestStatistics:
     def test_stage_times_recorded(self, rng):
         s0, s1 = make_pair(rng, 300, 300)
         result, _ = run_small(s0, s1)
-        walls = result.stage_wall_seconds
+        walls = result.stage_wall_seconds()
         assert set(walls) == {"1", "2", "3", "4", "5", "6"}
         assert walls["1"] > 0
         assert result.modeled_total_seconds > 0

@@ -1,8 +1,11 @@
-"""Progress callback coverage."""
+"""Progress callback and observer coverage."""
 
 from __future__ import annotations
 
+import pytest
+
 from repro.core import CUDAlign, small_config
+from repro.telemetry import PipelineObserver
 
 from tests.conftest import make_pair
 
@@ -12,8 +15,10 @@ class TestProgress:
         s0, s1 = make_pair(rng, 300, 300)
         events: list[tuple[str, float]] = []
         config = small_config(block_rows=32, n=len(s1), sra_rows=4)
-        CUDAlign(config, progress=lambda s, f: events.append((s, f))).run(
-            s0, s1)
+        with pytest.warns(DeprecationWarning):
+            aligner = CUDAlign(config,
+                               progress=lambda s, f: events.append((s, f)))
+        aligner.run(s0, s1)
         stages = {s for s, _ in events}
         assert {"stage1", "stage2", "stage5", "stage6"} <= stages
         # Stage 1 reports per band, monotonically, ending at 1.0.
@@ -34,6 +39,57 @@ class TestProgress:
         s0, s1 = make_pair(rng, 120, 120)
         events: list[str] = []
         config = small_config(block_rows=32, n=len(s1), sra_rows=2)
-        CUDAlign(config, progress=lambda s, f: events.append(s)).run(
-            s0, s1, visualize=False)
+        with pytest.warns(DeprecationWarning):
+            aligner = CUDAlign(config,
+                               progress=lambda s, f: events.append(s))
+        aligner.run(s0, s1, visualize=False)
         assert "stage6" not in events
+
+
+class TestObserver:
+    def test_typed_observer_sees_stage_lifecycle(self, rng):
+        class Recorder(PipelineObserver):
+            def __init__(self):
+                self.starts: list[str] = []
+                self.ends: list[tuple[str, object]] = []
+                self.fractions: list[tuple[str, float]] = []
+                self.metrics: list[str] = []
+
+            def on_stage_start(self, stage):
+                self.starts.append(stage)
+
+            def on_stage_progress(self, stage, fraction):
+                self.fractions.append((stage, fraction))
+
+            def on_stage_end(self, stage, result):
+                self.ends.append((stage, result))
+
+            def on_metric(self, name, value):
+                self.metrics.append(name)
+
+        recorder = Recorder()
+        s0, s1 = make_pair(rng, 300, 300)
+        config = small_config(block_rows=32, n=len(s1), sra_rows=4)
+        result = CUDAlign(config, observer=recorder).run(s0, s1)
+        # Every executed stage starts exactly once and ends exactly once,
+        # in order, carrying its result object.
+        executed = ["stage" + key for key in result.stages()]
+        assert recorder.starts == executed
+        assert [stage for stage, _ in recorder.ends] == executed
+        ended = dict(recorder.ends)
+        assert ended["stage1"] is result.stage1
+        assert ended["stage5"] is result.stage5
+        # Stage-1 band fractions flow through on_stage_progress.
+        assert any(s == "stage1" for s, _ in recorder.fractions)
+        # Metric updates reach on_metric.
+        assert "cells.swept" in recorder.metrics
+
+    def test_observer_does_not_warn(self, rng):
+        import warnings
+
+        s0, s1 = make_pair(rng, 100, 100)
+        config = small_config(block_rows=32, n=len(s1), sra_rows=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            CUDAlign(config, observer=PipelineObserver()).run(
+                s0, s1, visualize=False)
