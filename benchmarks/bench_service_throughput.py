@@ -1,0 +1,81 @@
+"""Job-service throughput — jobs/sec versus worker count, cache speedup.
+
+Runs one fixed batch of catalog jobs through :class:`AlignmentService`
+at 1, 2 and 4 workers (fresh root each time, so every job really runs),
+then replays the same batch against a warm result cache.  The table
+reports jobs/sec per worker count, the scaling ratio versus one worker,
+and the cache-hit speedup — the service-level counterpart of the
+kernel-MCUPS suite.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.service import AlignmentService, JobSpec
+
+from benchmarks.conftest import bench_scale, emit
+
+WORKER_COUNTS = (1, 2, 4)
+#: (catalog key, seed) per job: two entry shapes, distinct seeds so no
+#: two jobs collide in the cache within one cold run.
+JOBS = [("162Kx172K", seed) for seed in range(4)] + \
+       [("543Kx536K", seed) for seed in range(2)]
+
+
+def _specs(scale: int) -> list[JobSpec]:
+    return [JobSpec(catalog=key, scale=scale, seed=seed, block_rows=32)
+            for key, seed in JOBS]
+
+
+def _run_batch(root, workers: int, scale: int,
+               resume: bool = False) -> dict:
+    service = AlignmentService(root, workers=workers, resume=resume)
+    try:
+        if not resume:
+            service.submit_many(_specs(scale))
+        tick = time.monotonic()
+        summary = service.run()
+        summary["measured_seconds"] = time.monotonic() - tick
+    finally:
+        service.close()
+    assert summary["failed"] == 0
+    return summary
+
+
+def test_service_throughput(tmp_path):
+    scale = bench_scale()
+    lines = [
+        f"Job service throughput — {len(JOBS)} catalog jobs, "
+        f"scale 1/{scale}",
+        "",
+        f"{'workers':>8} {'seconds':>9} {'jobs/s':>8} {'vs 1 worker':>12}",
+    ]
+    base_rate = None
+    cold_seconds = None
+    for workers in WORKER_COUNTS:
+        summary = _run_batch(tmp_path / f"w{workers}", workers, scale)
+        elapsed = summary["measured_seconds"]
+        rate = len(JOBS) / elapsed
+        if base_rate is None:
+            base_rate = rate
+            cold_seconds = elapsed
+        lines.append(f"{workers:>8} {elapsed:>9.2f} {rate:>8.2f} "
+                     f"{rate / base_rate:>11.2f}x")
+
+    # Same batch against the warm cache of the 1-worker root: every job
+    # is a duplicate, so this measures pure service+cache overhead.
+    warm_root = tmp_path / "w1"
+    (warm_root / "journal.jsonl").unlink()
+    warm = _run_batch(warm_root, 1, scale)
+    assert warm["cached"] == len(JOBS)
+    warm_seconds = warm["measured_seconds"]
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    lines += [
+        "",
+        f"warm-cache replay (1 worker): {warm_seconds:.3f} s for "
+        f"{len(JOBS)} jobs — {speedup:.0f}x faster than the cold run "
+        f"({warm['cache']['hits']} hits, "
+        f"{warm['cache']['hit_rate']:.0%} hit rate)",
+    ]
+    emit("service_throughput", lines)

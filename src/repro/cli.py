@@ -7,7 +7,10 @@
 * ``cudalign view alignment.bin A.fasta B.fasta`` — Stage 6: reconstruct
   and render a saved binary alignment;
 * ``cudalign catalog`` — list the synthetic Table-II catalog;
-* ``cudalign synth`` — generate a synthetic pair as FASTA files.
+* ``cudalign synth`` — generate a synthetic pair as FASTA files;
+* ``cudalign batch jobs.json --root DIR`` — run a file of alignment jobs
+  through the job service (queue, worker pool, result cache, retries);
+* ``cudalign jobs --root DIR`` — inspect a service root's queue journal.
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import ConfigError
 from repro.align.scoring import ScoringScheme
 from repro.core.config import PipelineConfig, small_config
 from repro.core.pipeline import CUDAlign
@@ -152,6 +156,50 @@ def cmd_pack(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.report import render_batch_table
+    from repro.service import AlignmentService, load_specs
+    from repro.telemetry import JsonLinesSink
+
+    if args.specs is None and not args.resume:
+        print("error: give a spec file, or --resume to continue a journal",
+              file=sys.stderr)
+        return 2
+    trace_sink = JsonLinesSink(args.trace) if args.trace else None
+    sinks = (trace_sink,) if trace_sink is not None else ()
+    service = AlignmentService(args.root, workers=args.workers,
+                               resume=args.resume, sinks=sinks)
+    try:
+        if args.specs is not None:
+            service.submit_many(load_specs(args.specs))
+        summary = service.run(max_jobs=args.max_jobs)
+    finally:
+        service.close()
+    print(render_batch_table(service.queue.records(), summary), end="")
+    print(f"service manifest: {args.root}/manifest.json")
+    if summary["remaining"]:
+        print(f"{summary['remaining']} job(s) still pending — continue with "
+              f"`batch --resume --root {args.root}`")
+    if summary["failed"]:
+        return 1
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.report import render_jobs_table
+    from repro.service import JOURNAL_NAME, replay_journal
+
+    journal = os.path.join(args.root, JOURNAL_NAME)
+    records, events = replay_journal(journal)
+    if not events:
+        print(f"no journal at {journal}", file=sys.stderr)
+        return 1
+    print(render_jobs_table(records, events), end="")
+    return 0
+
+
 def cmd_synth(args: argparse.Namespace) -> int:
     entry = get_entry(args.key)
     s0, s1 = entry.build(scale=args.scale, seed=args.seed)
@@ -232,6 +280,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_pack.add_argument("--record", type=int, default=0)
     p_pack.set_defaults(func=cmd_pack)
 
+    p_batch = sub.add_parser(
+        "batch", help="run a file of alignment jobs through the job service")
+    p_batch.add_argument("specs", nargs="?", default=None,
+                         help="job spec file (JSON array or JSON lines); "
+                              "optional with --resume")
+    p_batch.add_argument("--root", required=True,
+                         help="service root (journal, cache, per-job "
+                              "workdirs, manifest)")
+    p_batch.add_argument("--workers", type=int, default=1,
+                         help="concurrent worker processes")
+    p_batch.add_argument("--max-jobs", type=int, default=None,
+                         help="stop after this many jobs finish (the rest "
+                              "stay pending in the journal)")
+    p_batch.add_argument("--resume", action="store_true",
+                         help="recover the queue from the root's journal "
+                              "before submitting anything")
+    p_batch.add_argument("--trace", default=None, metavar="FILE",
+                         help="write a JSON-lines service trace here")
+    p_batch.set_defaults(func=cmd_batch)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="inspect a service root's queue journal")
+    p_jobs.add_argument("--root", required=True)
+    p_jobs.set_defaults(func=cmd_jobs)
+
     p_synth = sub.add_parser("synth", help="generate a catalog pair as FASTA")
     p_synth.add_argument("key")
     p_synth.add_argument("out0")
@@ -248,6 +321,11 @@ def main(argv: list[str] | None = None) -> int:
         return args.func(args)
     except BrokenPipeError:  # e.g. `cudalign catalog | head`
         return 0
+    except ConfigError as exc:
+        # Bad knobs (--workers 0, malformed job specs, ...) are user
+        # errors: one clean line, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -61,6 +61,18 @@ def load_checkpoint(path: str | os.PathLike, m: int, n: int) -> dict | None:
                 ("i", "cells", "H", "E", "F", "best", "best_i", "best_j")}
 
 
+def checkpoint_row(path: str | os.PathLike, m: int, n: int) -> int | None:
+    """Peek at the row a checkpoint would resume from, without arrays.
+
+    Returns ``None`` when no checkpoint exists; raises
+    :class:`StorageError` for a checkpoint of a different comparison.
+    The job service uses this to report "resuming from row N" before it
+    re-dispatches a failed attempt.
+    """
+    state = load_checkpoint(path, m, n)
+    return None if state is None else int(state["i"])
+
+
 def clear_checkpoint(path: str | os.PathLike) -> None:
     """Remove a checkpoint after the stage completes."""
     if os.path.exists(path):

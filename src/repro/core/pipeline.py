@@ -28,6 +28,7 @@ from typing import Any
 
 from repro.errors import ConfigError
 from repro.align.alignment import Alignment, Composition
+from repro.core.checkpoint import checkpoint_row
 from repro.core.config import PipelineConfig
 from repro.core.crosspoints import CrosspointChain
 from repro.core.result import StageResult
@@ -149,14 +150,18 @@ class CUDAlign:
             that receive every span and metric event of the run.  The
             pipeline does not close them — the caller owns their
             lifecycle.
+        manifest_extra: JSON-safe payload recorded under the manifest's
+            ``extra`` key (the job service stamps job id/attempt here).
     """
 
     def __init__(self, config: PipelineConfig | None = None,
                  workdir: str | os.PathLike | None = None,
-                 progress=None, *, observer=None, sinks: tuple = ()):
+                 progress=None, *, observer=None, sinks: tuple = (),
+                 manifest_extra: dict | None = None):
         self.config = config or PipelineConfig()
         self.workdir = workdir
         self.progress = progress
+        self.manifest_extra = manifest_extra
         self.sinks = tuple(sinks)
         observers = []
         if observer is not None:
@@ -198,14 +203,19 @@ class CUDAlign:
         tick = time.perf_counter()
         sra_dir = os.path.join(workdir, "sra") if workdir is not None else None
         sca_dir = os.path.join(workdir, "sca") if workdir is not None else None
-        sra = SpecialLineStore(config.sra_bytes, directory=sra_dir,
-                               tracer=tel.tracer)
-        sca = SpecialLineStore(config.sca_bytes, directory=sca_dir,
-                               tracer=tel.tracer)
 
         checkpoint = None
         if workdir is not None and config.checkpoint_every_rows:
             checkpoint = os.path.join(workdir, "stage1.ckpt")
+        # A valid Stage-1 checkpoint means this run resumes a crashed one:
+        # re-register the special rows the dead process already flushed, so
+        # Stage 2 finds them without Stage 1 re-sweeping the prefix.
+        resuming = (checkpoint is not None and
+                    checkpoint_row(checkpoint, len(s0), len(s1)) is not None)
+        sra = SpecialLineStore(config.sra_bytes, directory=sra_dir,
+                               tracer=tel.tracer, recover=resuming)
+        sca = SpecialLineStore(config.sca_bytes, directory=sca_dir,
+                               tracer=tel.tracer)
 
         def account_io() -> None:
             tel.metrics.counter("sra.bytes_flushed").add(
@@ -292,6 +302,7 @@ class CUDAlign:
             stage_wall_seconds=result.stage_wall_seconds(),
             metrics=result.metrics or {},
             spans=list(result.spans),
+            extra=self.manifest_extra,
         )
         return write_manifest(os.path.join(workdir, "manifest.json"),
                               manifest)

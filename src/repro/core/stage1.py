@@ -141,7 +141,8 @@ def run_stage1(s0: Sequence, s1: Sequence, config: PipelineConfig,
         )
         span.set(best_score=result.best_score, cells=result.cells,
                  flushed_bytes=result.flushed_bytes,
-                 wall_seconds=result.wall_seconds)
+                 wall_seconds=result.wall_seconds,
+                 resumed_from_row=result.resumed_from_row)
         tel.metrics.counter("cells.swept").add(result.cells)
         tel.metrics.counter("stage1.flushed_bytes").add(result.flushed_bytes)
         tel.metrics.gauge("stage1.mcups").set(result.mcups_wall)

@@ -179,3 +179,65 @@ def generate_report(options: ReportOptions | None = None) -> str:
         _modeled_tables(out)
     out.write(f"\nreport generated in {time.perf_counter() - tick:.1f} s\n")
     return out.getvalue()
+
+# ---------------------------------------------------------------- service
+
+def render_batch_table(records, summary: dict) -> str:
+    """The ``repro batch`` throughput table: one line per job, then the
+    run summary (jobs/sec, cache hit rate, retries)."""
+    out = io.StringIO()
+    out.write(f"{'job':<14} {'state':<10} {'score':>8} {'length':>8} "
+              f"{'att':>4} {'resume@':>8} {'seconds':>8}  note\n")
+    for record in records:
+        result = record.result or {}
+        note = ""
+        if record.cache_hit:
+            note = "served from cache"
+        elif record.error and record.state == "failed":
+            note = record.error.splitlines()[0][:40]
+        elif result.get("resumed_from_row"):
+            note = "retried from checkpoint"
+        score = result.get("best_score")
+        length = result.get("alignment_length")
+        resumed = result.get("resumed_from_row") or 0
+        out.write(f"{record.job_id:<14} {record.state:<10} "
+                  f"{score if score is not None else '-':>8} "
+                  f"{length if length is not None else '-':>8} "
+                  f"{record.attempts:>4} "
+                  f"{resumed if resumed else '-':>8} "
+                  f"{record.wall_seconds:>8.2f}  {note}\n")
+    cache = summary.get("cache", {})
+    out.write(
+        f"\n{summary.get('jobs', 0)} jobs: "
+        f"{summary.get('succeeded', 0)} succeeded, "
+        f"{summary.get('cached', 0)} cached, "
+        f"{summary.get('failed', 0)} failed, "
+        f"{summary.get('remaining', 0)} remaining  "
+        f"(retries: {summary.get('retries', 0)}, "
+        f"timeouts: {summary.get('timeouts', 0)})\n")
+    out.write(f"throughput: {summary.get('jobs_per_second', 0.0):.2f} jobs/s "
+              f"over {summary.get('elapsed_seconds', 0.0):.2f} s   "
+              f"cache: {cache.get('hits', 0)} hits / "
+              f"{cache.get('misses', 0)} misses "
+              f"({cache.get('hit_rate', 0.0):.0%} hit rate)\n")
+    return out.getvalue()
+
+
+def render_jobs_table(records, events) -> str:
+    """The ``repro jobs`` queue/journal view."""
+    out = io.StringIO()
+    pending = sum(1 for r in records if r.state == "pending")
+    running = sum(1 for r in records if r.state == "running")
+    out.write(f"journal: {len(events)} events over {len(records)} jobs  "
+              f"(queue depth: {pending}, running at last write: {running})\n\n")
+    out.write(f"{'job':<14} {'state':<10} {'prio':>5} {'att':>4} "
+              f"{'fail':>5} {'score':>8}  error\n")
+    for record in records:
+        result = record.result or {}
+        score = result.get("best_score")
+        error = (record.error or "").splitlines()[0][:44] if record.error else ""
+        out.write(f"{record.job_id:<14} {record.state:<10} "
+                  f"{record.spec.priority:>5} {record.attempts:>4} "
+                  f"{record.failures:>5} "
+                  f"{score if score is not None else '-':>8}  {error}\n")
+    return out.getvalue()

@@ -11,6 +11,7 @@ the same regime, so every downstream experiment (Tables III-X, Figures
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Callable
 
@@ -56,9 +57,17 @@ class CatalogEntry:
                 max(MIN_SCALED_LENGTH, self.paper_size1 // scale))
 
     def build(self, scale: int = 1024, seed: int = 0) -> tuple[Sequence, Sequence]:
-        """Generate the deterministic synthetic pair for this entry."""
+        """Generate the deterministic synthetic pair for this entry.
+
+        The per-entry seed component is a stable digest of the key — not
+        ``hash()``, whose per-process salt would make "deterministic"
+        hold only within one interpreter.  Cross-process reproducibility
+        is what lets the job service cache catalog jobs by content digest
+        and resume them from checkpoints in fresh worker processes.
+        """
         m, n = self.scaled_sizes(scale)
-        rng = np.random.default_rng([seed, hash(self.key) & 0xFFFFFFFF])
+        key_seed = zlib.crc32(self.key.encode("ascii"))
+        rng = np.random.default_rng([seed, key_seed])
         s0, s1 = self._builder(m, n, rng)
         return (Sequence(s0.codes, name=self.name0, accession=self.accession0),
                 Sequence(s1.codes, name=self.name1, accession=self.accession1))

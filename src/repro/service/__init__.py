@@ -1,0 +1,42 @@
+"""Batch alignment job service.
+
+Turns the six-stage pipeline into a schedulable, cacheable, restartable
+unit of work: submit many :class:`JobSpec`\\ s to an
+:class:`AlignmentService` and it drives them to completion through a
+journaled :class:`JobQueue` (kill the service, ``resume=True`` picks up
+where it left off), a process-based :class:`WorkerPool` with per-job
+workdirs, deadlines and checkpoint-resuming retries, and a
+:class:`ResultCache` that serves duplicate submissions instantly.
+
+Quick use::
+
+    from repro.service import AlignmentService, JobSpec
+    svc = AlignmentService("runs/batch1", workers=4)
+    svc.submit(JobSpec(catalog="162Kx172K", scale=8192))
+    svc.submit(JobSpec(seq0="a.fasta", seq1="b.fasta", priority=5))
+    summary = svc.run()        # -> root/manifest.json + journal + cache
+
+On the command line: ``repro batch specs.json --root runs/batch1`` and
+``repro jobs --root runs/batch1``.
+"""
+
+from repro.service.cache import ResultCache, cache_key, config_fingerprint
+from repro.service.job import JobRecord, JobSpec, JobState
+from repro.service.queue import JOURNAL_NAME, JobQueue, replay_journal
+from repro.service.service import AlignmentService
+from repro.service.specfile import load_specs
+from repro.service.worker import (
+    FailureInjector,
+    InjectedFailure,
+    WorkerPool,
+    execute_job,
+)
+
+__all__ = [
+    "AlignmentService",
+    "JobSpec", "JobRecord", "JobState",
+    "JobQueue", "replay_journal", "JOURNAL_NAME",
+    "ResultCache", "cache_key", "config_fingerprint",
+    "WorkerPool", "execute_job", "FailureInjector", "InjectedFailure",
+    "load_specs",
+]

@@ -1,0 +1,97 @@
+"""Result cache: duplicate submissions return instantly.
+
+The cache key is a SHA-256 over three components:
+
+* the **sequence digest pair** — ``telemetry.manifest.sequence_digest``
+  of each input's encoded bytes (so two FASTA files with the same
+  content, or a re-built catalog pair, hash identically);
+* the **scoring scheme** — (match, mismatch, gap_first, gap_ext);
+* the **config fingerprint** — the canonical JSON of the
+  :class:`~repro.core.config.PipelineConfig` minus the knobs that cannot
+  change the result: ``workers`` (thread count) and
+  ``checkpoint_every_rows`` (crash-recovery cadence).
+
+Entries are one JSON file per key under ``cache/`` in the service root,
+written atomically, so the cache survives service restarts and is
+shared by every worker.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Any
+
+from repro.align.scoring import ScoringScheme
+from repro.core.config import PipelineConfig
+from repro.telemetry.manifest import json_safe
+
+#: Config fields excluded from the fingerprint: execution-only knobs that
+#: cannot change the alignment the pipeline produces.
+NON_SEMANTIC_FIELDS = ("workers", "checkpoint_every_rows")
+
+
+def config_fingerprint(config: PipelineConfig) -> str:
+    """Stable digest of the result-shaping part of a pipeline config."""
+    payload = json_safe(dataclasses.asdict(config))
+    for name in NON_SEMANTIC_FIELDS:
+        payload.pop(name, None)
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+def cache_key(digest0: str, digest1: str, scheme: ScoringScheme,
+              fingerprint: str) -> str:
+    """The (sequence digest pair, scoring scheme, config) cache key."""
+    canon = json.dumps(
+        {"s0": digest0, "s1": digest1,
+         "scheme": [scheme.match, scheme.mismatch,
+                    scheme.gap_first, scheme.gap_ext],
+         "config": fingerprint},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Disk-persistent map from cache key to job result payload."""
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The cached payload, or ``None``; counts hit/miss."""
+        path = self._path(key)
+        if not os.path.exists(path):
+            self.misses += 1
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Atomically persist a payload (last writer wins)."""
+        path = self._path(key)
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(json_safe(payload), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.directory)
+                   if name.endswith(".json"))
+
+    def stats(self) -> dict[str, int | float]:
+        total = self.hits + self.misses
+        return {"entries": len(self), "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0}

@@ -1,0 +1,236 @@
+"""Persistent job queue: a priority queue with a JSON-lines journal.
+
+Every state transition appends one event line to ``journal.jsonl``
+(``submitted`` events embed the full spec), so the journal alone
+reconstructs the queue: :meth:`JobQueue.recover` replays it and returns
+a queue in which finished jobs stay finished and interrupted ones —
+submitted or mid-run when the service died — are pending again.  An
+interrupted attempt does not consume retry budget; only a *failed*
+attempt (``attempt_failed`` event) does.
+
+Scheduling order is highest ``priority`` first, FIFO within a priority.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Iterable
+
+from repro.errors import ConfigError
+from repro.service.job import JobRecord, JobSpec, JobState
+
+#: Journal file name inside a service root.
+JOURNAL_NAME = "journal.jsonl"
+
+
+class JobQueue:
+    """In-memory priority queue mirrored to an append-only journal."""
+
+    def __init__(self, journal_path: str | os.PathLike):
+        self.journal_path = os.fspath(journal_path)
+        parent = os.path.dirname(self.journal_path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._records: dict[str, JobRecord] = {}
+        self._order: list[str] = []   # submission order (FIFO tiebreak)
+
+    # ------------------------------------------------------------ journal
+    def _log(self, event: str, job_id: str, **payload: Any) -> None:
+        record = {"event": event, "job_id": job_id, "time": time.time(),
+                  **payload}
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        with open(self.journal_path, "a+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() > 0:
+                # A killed process may have torn its final line; never let
+                # the next event merge into (and corrupt) it.
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            handle.write(line.encode("utf-8") + b"\n")
+
+    # ------------------------------------------------------------- submit
+    def submit(self, spec: JobSpec) -> JobRecord:
+        if spec.job_id in self._records:
+            raise ConfigError(f"job id {spec.job_id!r} already submitted")
+        record = JobRecord(spec=spec)
+        self._records[spec.job_id] = record
+        self._order.append(spec.job_id)
+        self._log("submitted", spec.job_id, spec=spec.to_json(),
+                  priority=spec.priority)
+        return record
+
+    def submit_many(self, specs: Iterable[JobSpec]) -> list[JobRecord]:
+        return [self.submit(spec) for spec in specs]
+
+    # ---------------------------------------------------------- selection
+    def next_pending(self, skip: frozenset[str] | set[str] = frozenset()
+                     ) -> JobRecord | None:
+        """Highest-priority pending record not in ``skip`` (FIFO within)."""
+        best: JobRecord | None = None
+        for job_id in self._order:
+            record = self._records[job_id]
+            if record.state != JobState.PENDING or job_id in skip:
+                continue
+            if best is None or record.spec.priority > best.spec.priority:
+                best = record
+        return best
+
+    # -------------------------------------------------------- transitions
+    def mark_running(self, record: JobRecord) -> None:
+        record.state = JobState.RUNNING
+        record.attempts += 1
+        if record.started_unix is None:
+            record.started_unix = time.time()
+        self._log("started", record.job_id, attempt=record.attempts)
+
+    def mark_succeeded(self, record: JobRecord, result: dict[str, Any]) -> None:
+        record.state = JobState.SUCCEEDED
+        record.result = result
+        record.finished_unix = time.time()
+        self._log("succeeded", record.job_id, attempt=record.attempts,
+                  result=_summary(result))
+
+    def mark_cached(self, record: JobRecord, result: dict[str, Any],
+                    cache_key: str) -> None:
+        record.state = JobState.CACHED
+        record.result = result
+        record.cache_hit = True
+        record.cache_key = cache_key
+        if record.started_unix is None:
+            record.started_unix = time.time()
+        record.finished_unix = time.time()
+        self._log("cached", record.job_id, cache_key=cache_key,
+                  result=_summary(result))
+
+    def mark_retry(self, record: JobRecord, error: str) -> None:
+        """One attempt failed; the job goes back to pending."""
+        record.state = JobState.PENDING
+        record.failures += 1
+        record.error = error
+        self._log("attempt_failed", record.job_id, attempt=record.attempts,
+                  failures=record.failures, error=error)
+
+    def mark_failed(self, record: JobRecord, error: str) -> None:
+        record.state = JobState.FAILED
+        record.failures += 1
+        record.error = error
+        record.finished_unix = time.time()
+        self._log("failed", record.job_id, attempt=record.attempts,
+                  failures=record.failures, error=error)
+
+    # ------------------------------------------------------------- views
+    def records(self) -> list[JobRecord]:
+        return [self._records[job_id] for job_id in self._order]
+
+    def get(self, job_id: str) -> JobRecord:
+        return self._records[job_id]
+
+    @property
+    def depth(self) -> int:
+        """Jobs waiting to run (the queue-depth gauge)."""
+        return sum(1 for r in self._records.values()
+                   if r.state == JobState.PENDING)
+
+    @property
+    def unfinished(self) -> int:
+        return sum(1 for r in self._records.values() if not r.done)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ----------------------------------------------------------- recovery
+    @classmethod
+    def recover(cls, journal_path: str | os.PathLike) -> "JobQueue":
+        """Rebuild a queue from its journal (missing file -> empty queue).
+
+        Appends a ``recovered`` event so the journal itself records every
+        service (re)start.
+        """
+        queue = cls(journal_path)
+        records, _ = replay_journal(journal_path)
+        for record in records:
+            if record.state == JobState.RUNNING:
+                # The service died mid-attempt: run it again.  The attempt
+                # was interrupted, not failed, so the retry budget is
+                # untouched; Stage 1 resumes from the on-disk checkpoint.
+                record.state = JobState.PENDING
+            queue._records[record.job_id] = record
+            queue._order.append(record.job_id)
+        if records:
+            queue._log("recovered", "-", jobs=len(records),
+                       unfinished=queue.unfinished)
+        return queue
+
+
+def replay_journal(journal_path: str | os.PathLike
+                   ) -> tuple[list[JobRecord], list[dict[str, Any]]]:
+    """Fold a journal into records (submission order) plus the raw events.
+
+    Read-only: used by recovery, ``repro jobs`` and tests.  Unknown or
+    truncated trailing lines are skipped (a killed service may die
+    mid-write); the journal stays interpretable because every complete
+    line is self-contained.
+    """
+    journal_path = os.fspath(journal_path)
+    records: dict[str, JobRecord] = {}
+    order: list[str] = []
+    events: list[dict[str, Any]] = []
+    if not os.path.exists(journal_path):
+        return [], []
+    with open(journal_path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                event = json.loads(raw)
+            except json.JSONDecodeError:
+                continue  # torn final line of a killed process
+            events.append(event)
+            kind = event.get("event")
+            job_id = event.get("job_id")
+            if kind == "submitted":
+                spec = JobSpec.from_json(event["spec"])
+                record = JobRecord(spec=spec,
+                                   submitted_unix=event.get("time", 0.0))
+                records[job_id] = record
+                order.append(job_id)
+                continue
+            record = records.get(job_id)
+            if record is None:
+                continue
+            if kind == "started":
+                record.state = JobState.RUNNING
+                record.attempts = event.get("attempt", record.attempts + 1)
+                if record.started_unix is None:
+                    record.started_unix = event.get("time")
+            elif kind == "attempt_failed":
+                record.state = JobState.PENDING
+                record.failures = event.get("failures", record.failures + 1)
+                record.error = event.get("error")
+            elif kind == "succeeded":
+                record.state = JobState.SUCCEEDED
+                record.result = event.get("result")
+                record.finished_unix = event.get("time")
+            elif kind == "cached":
+                record.state = JobState.CACHED
+                record.result = event.get("result")
+                record.cache_hit = True
+                record.cache_key = event.get("cache_key")
+                record.finished_unix = event.get("time")
+            elif kind == "failed":
+                record.state = JobState.FAILED
+                record.failures = event.get("failures", record.failures + 1)
+                record.error = event.get("error")
+                record.finished_unix = event.get("time")
+    return [records[job_id] for job_id in order], events
+
+
+def _summary(result: dict[str, Any]) -> dict[str, Any]:
+    """The compact slice of a result worth journaling."""
+    keys = ("best_score", "alignment_length", "wall_seconds",
+            "resumed_from_row", "manifest")
+    return {k: result[k] for k in keys if k in result}

@@ -1,0 +1,248 @@
+"""The batch alignment service: queue + cache + worker pool, end to end.
+
+:class:`AlignmentService` owns one service root directory::
+
+    root/
+      journal.jsonl     append-only queue journal (JobQueue)
+      cache/<key>.json  result cache entries (ResultCache)
+      jobs/<job_id>/    per-job workdir: sra/, stage1.ckpt, manifest.json
+      manifest.json     service-level manifest aggregating the run
+
+``run()`` drives every submitted job to a terminal state: duplicates are
+served from the :class:`~repro.service.cache.ResultCache` (identical
+jobs already in flight are held back and served when their twin lands),
+failed attempts are retried up to ``spec.max_retries`` times — resuming
+Stage 1 from the job's on-disk checkpoint — and attempts that overrun
+``spec.deadline_seconds`` are terminated and count as failures.
+
+Everything is observable through the PR-1 telemetry machinery: the
+service keeps ``service.queue_depth`` / ``service.jobs_inflight``
+gauges, hit/miss/retry/timeout counters and a ``service.job_seconds``
+histogram in a :class:`~repro.telemetry.MetricsRegistry`, emits one
+``service.job`` span per finished attempt, and fans everything out to
+caller-supplied sinks and :class:`~repro.telemetry.PipelineObserver`\\ s.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Iterable
+
+from repro.errors import ConfigError
+from repro.service.cache import ResultCache, cache_key, config_fingerprint
+from repro.service.job import JobRecord, JobSpec, JobState
+from repro.service.queue import JOURNAL_NAME, JobQueue
+from repro.service.worker import WorkerPool
+from repro.telemetry.manifest import (MANIFEST_VERSION, json_safe,
+                                      sequence_digest, write_manifest)
+from repro.telemetry.observer import as_observer
+from repro.telemetry.runtime import Telemetry
+from repro.telemetry.sinks import InMemorySink
+
+
+class AlignmentService:
+    """Accepts many alignment jobs and drives them to completion.
+
+    Args:
+        root: service root directory (created, parents included).
+        workers: concurrent worker processes (>= 1, enforced by the same
+            rule as ``PipelineConfig.workers``).
+        resume: recover the queue from an existing journal instead of
+            starting empty — unfinished jobs become pending again.
+        observer: optional :class:`~repro.telemetry.PipelineObserver`
+            receiving metric updates.
+        sinks: extra telemetry sinks (e.g. a ``JsonLinesSink`` trace).
+        poll_seconds: worker-pool polling cadence.
+    """
+
+    def __init__(self, root: str | os.PathLike, *, workers: int = 1,
+                 resume: bool = False, observer=None, sinks: tuple = (),
+                 poll_seconds: float = 0.02):
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        journal = os.path.join(self.root, JOURNAL_NAME)
+        self.queue = (JobQueue.recover(journal) if resume
+                      else JobQueue(journal))
+        self.cache = ResultCache(os.path.join(self.root, "cache"))
+        self.pool = WorkerPool(workers)
+        self.poll_seconds = poll_seconds
+        observers = (as_observer(observer),) if observer is not None else ()
+        self._memory = InMemorySink()
+        self.telemetry = Telemetry(sinks=(self._memory,) + tuple(sinks),
+                                   observers=observers)
+        self._inflight_keys: dict[str, str] = {}   # cache key -> job_id
+
+    # ------------------------------------------------------------- submit
+    def submit(self, spec: JobSpec) -> JobRecord:
+        record = self.queue.submit(spec)
+        self.telemetry.metrics.counter("service.jobs_submitted").add(1)
+        self._gauges()
+        return record
+
+    def submit_many(self, specs: Iterable[JobSpec]) -> list[JobRecord]:
+        return [self.submit(spec) for spec in specs]
+
+    # -------------------------------------------------------------- run
+    def run(self, max_jobs: int | None = None) -> dict[str, Any]:
+        """Process the queue until drained (or ``max_jobs`` finished).
+
+        With ``max_jobs``, dispatching stops once that many jobs reached
+        a terminal state this call; in-flight attempts are drained, the
+        rest stay pending in the journal for a later ``resume`` run.
+        Returns the run summary (also embedded in the service manifest).
+        """
+        if max_jobs is not None and max_jobs < 1:
+            raise ConfigError("max_jobs must be positive")
+        tick = time.time()
+        finished_this_run = 0
+        while True:
+            capped = max_jobs is not None and finished_this_run >= max_jobs
+            if not capped:
+                finished_this_run += self._dispatch_round()
+                capped = max_jobs is not None and finished_this_run >= max_jobs
+            if self.pool.in_flight == 0 and (capped or self.queue.depth == 0):
+                break
+            finished = self.pool.poll()
+            if not finished:
+                time.sleep(self.poll_seconds)
+                continue
+            for outcome in finished:
+                finished_this_run += self._settle(outcome)
+            self._gauges()
+        self._gauges()
+        summary = self._summary(time.time() - tick, finished_this_run)
+        self.write_manifest(summary)
+        return summary
+
+    def close(self) -> None:
+        self.pool.shutdown()
+        self.telemetry.close()
+
+    # ---------------------------------------------------------- internals
+    def _dispatch_round(self) -> int:
+        """Fill free worker slots; serve cache hits. Returns jobs finished
+        instantly (cached)."""
+        finished = 0
+        skip: set[str] = set()
+        while self.pool.free_slots > 0:
+            record = self.queue.next_pending(skip)
+            if record is None:
+                break
+            key = self._key_for(record)
+            if key in self._inflight_keys:
+                # An identical job is running right now: hold this one
+                # back and serve it from the cache when the twin lands.
+                skip.add(record.job_id)
+                continue
+            hit = self.cache.get(key)
+            self.telemetry.metrics.counter(
+                "service.cache_hits" if hit is not None
+                else "service.cache_misses").add(1)
+            if hit is not None:
+                self.queue.mark_cached(record, hit, key)
+                self.telemetry.metrics.counter("service.jobs_cached").add(1)
+                finished += 1
+                continue
+            self.queue.mark_running(record)
+            self._inflight_keys[key] = record.job_id
+            self.pool.dispatch(record, self.job_workdir(record.job_id))
+            self._gauges()
+        return finished
+
+    def _settle(self, outcome) -> int:
+        """Fold one finished attempt into queue/cache/metrics.  Returns 1
+        when the job reached a terminal state, 0 when it was requeued."""
+        record = outcome.record
+        metrics = self.telemetry.metrics
+        self._inflight_keys.pop(record.cache_key, None)
+        with self.telemetry.span(
+                "service.job", job_id=record.job_id, attempt=record.attempts,
+                outcome="ok" if outcome.ok else
+                        ("timeout" if outcome.timed_out else "error")):
+            if outcome.ok:
+                summary = outcome.summary
+                self.cache.put(record.cache_key, summary)
+                self.queue.mark_succeeded(record, summary)
+                metrics.counter("service.jobs_succeeded").add(1)
+                metrics.histogram("service.job_seconds").observe(
+                    summary["wall_seconds"])
+                if summary.get("resumed_from_row"):
+                    metrics.counter("service.resumed_jobs").add(1)
+                return 1
+            if outcome.timed_out:
+                metrics.counter("service.timeouts").add(1)
+            if record.failures < record.spec.max_retries:
+                self.queue.mark_retry(record, outcome.error)
+                metrics.counter("service.retries").add(1)
+                return 0
+            self.queue.mark_failed(record, outcome.error)
+            metrics.counter("service.jobs_failed").add(1)
+            return 1
+
+    def _key_for(self, record: JobRecord) -> str:
+        """Compute (and memoize) the job's cache key.
+
+        Loads the input pair in the service process — cheap next to the
+        alignment itself, and what makes duplicates detectable *before*
+        a worker is spent on them.
+        """
+        if record.cache_key is None:
+            spec = record.spec
+            s0, s1 = spec.load_sequences()
+            record.cache_key = cache_key(
+                sequence_digest(s0.codes.tobytes()),
+                sequence_digest(s1.codes.tobytes()),
+                spec.scheme,
+                config_fingerprint(spec.pipeline_config(n=len(s1))))
+        return record.cache_key
+
+    def _gauges(self) -> None:
+        self.telemetry.metrics.gauge("service.queue_depth").set(
+            self.queue.depth)
+        self.telemetry.metrics.gauge("service.jobs_inflight").set(
+            self.pool.in_flight)
+
+    def job_workdir(self, job_id: str) -> str:
+        return os.path.join(self.root, "jobs", job_id)
+
+    # ----------------------------------------------------------- manifest
+    def _summary(self, elapsed: float, finished_this_run: int
+                 ) -> dict[str, Any]:
+        records = self.queue.records()
+        by_state = {state: sum(1 for r in records if r.state == state)
+                    for state in (JobState.SUCCEEDED, JobState.CACHED,
+                                  JobState.FAILED, JobState.PENDING)}
+        snapshot = self.telemetry.metrics.snapshot()
+        return {
+            "jobs": len(records),
+            "finished_this_run": finished_this_run,
+            "succeeded": by_state[JobState.SUCCEEDED],
+            "cached": by_state[JobState.CACHED],
+            "failed": by_state[JobState.FAILED],
+            "remaining": by_state[JobState.PENDING],
+            "retries": snapshot.get("service.retries", 0),
+            "timeouts": snapshot.get("service.timeouts", 0),
+            "elapsed_seconds": elapsed,
+            "jobs_per_second": (finished_this_run / elapsed if elapsed > 0
+                                else 0.0),
+            "cache": self.cache.stats(),
+        }
+
+    def write_manifest(self, summary: dict[str, Any] | None = None) -> str:
+        """Write ``root/manifest.json``: job records (each pointing at its
+        per-job ``manifest.json``), metrics snapshot, spans, cache stats."""
+        manifest = {
+            "version": MANIFEST_VERSION,
+            "tool": "repro-service",
+            "created_unix": time.time(),
+            "root": self.root,
+            "workers": self.pool.workers,
+            "summary": json_safe(summary or {}),
+            "jobs": json_safe([r.to_json() for r in self.queue.records()]),
+            "metrics": json_safe(self.telemetry.metrics.snapshot()),
+            "cache": json_safe(self.cache.stats()),
+            "spans": json_safe([s.to_record() for s in self._memory.spans]),
+        }
+        return write_manifest(os.path.join(self.root, "manifest.json"),
+                              manifest)

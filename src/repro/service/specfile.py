@@ -1,0 +1,53 @@
+"""Batch spec files: what ``repro batch`` reads.
+
+Two equivalent formats, auto-detected:
+
+* a JSON array of job-spec objects (``[{...}, {...}]``);
+* JSON lines — one spec object per line (comments with ``#`` allowed).
+
+Each object takes the :class:`~repro.service.job.JobSpec` fields
+(``seq0``/``seq1`` paths or ``catalog``/``scale``/``seed``, plus
+``priority``, ``deadline_seconds``, ``max_retries``, scoring and grid
+knobs).  ``scheme`` is a 4-list ``[match, mismatch, gap_first,
+gap_ext]``.  Missing ``job_id`` fields are assigned ``job-NNNN``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import ConfigError
+from repro.service.job import JobSpec
+
+
+def load_specs(path: str | os.PathLike) -> list[JobSpec]:
+    """Parse a spec file into :class:`JobSpec` objects (order preserved)."""
+    path = os.fspath(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if not stripped:
+        raise ConfigError(f"spec file {path!r} is empty")
+    if stripped.startswith("["):
+        items = json.loads(text)
+        if not isinstance(items, list):
+            raise ConfigError(f"spec file {path!r}: expected a JSON array")
+    else:
+        items = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            raw = raw.strip()
+            if not raw or raw.startswith("#"):
+                continue
+            try:
+                items.append(json.loads(raw))
+            except json.JSONDecodeError as exc:
+                raise ConfigError(
+                    f"spec file {path!r} line {lineno}: {exc}") from exc
+    specs = []
+    for index, item in enumerate(items):
+        if not isinstance(item, dict):
+            raise ConfigError(
+                f"spec file {path!r} entry {index}: expected an object")
+        specs.append(JobSpec.from_json(item))
+    return specs

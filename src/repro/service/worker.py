@@ -1,0 +1,213 @@
+"""Worker pool: jobs run in ``multiprocessing`` workers.
+
+Each attempt is one child process executing the full six-stage pipeline
+in the job's private workdir (``jobs/<job_id>/`` under the service
+root).  Process isolation is what makes the envelope enforceable: a
+deadline overrun is terminated from outside, and a crashed attempt
+cannot corrupt the service.  Because the workdir persists across
+attempts, a retry resumes Stage 1 from the last on-disk checkpoint
+instead of re-sweeping from row 0 (the pipeline recovers the SRA rows
+the dead attempt already flushed).
+
+The child reports back over a one-shot pipe: ``{"ok": True, "summary":
+...}`` or ``{"ok": False, "error": ..., "traceback": ...}``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.core.checkpoint import checkpoint_row
+from repro.core.pipeline import CUDAlign
+from repro.service.job import JobRecord, JobSpec
+from repro.telemetry.manifest import sequence_digest
+from repro.telemetry.observer import PipelineObserver
+
+#: Fork keeps worker startup cheap and needs no importable __main__;
+#: platforms without it (Windows) fall back to spawn.
+_CTX = multiprocessing.get_context(
+    "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn")
+
+
+class InjectedFailure(RuntimeError):
+    """Raised by the chaos hook (``JobSpec.inject_failure_row``)."""
+
+
+class FailureInjector(PipelineObserver):
+    """Kills Stage 1 once its sweep passes a given row (chaos testing)."""
+
+    def __init__(self, m: int, fail_at_row: int):
+        self.m = m
+        self.fail_at_row = fail_at_row
+
+    def on_stage_progress(self, stage: str, fraction: float) -> None:
+        if stage == "stage1" and fraction * self.m >= self.fail_at_row:
+            raise InjectedFailure(
+                f"injected failure at stage1 row >= {self.fail_at_row}")
+
+
+def execute_job(spec: JobSpec, workdir: str, attempt: int) -> dict[str, Any]:
+    """Run one attempt of a job in-process; returns the result summary.
+
+    This is the body every worker process runs, importable so tests and
+    benchmarks can call it inline.  The failure hook only arms on the
+    first attempt — the retry must succeed to prove the resume path.
+    """
+    s0, s1 = spec.load_sequences()
+    config = spec.pipeline_config(n=len(s1))
+    observer = None
+    if spec.inject_failure_row is not None and attempt <= 1:
+        observer = FailureInjector(len(s0), spec.inject_failure_row)
+    resumes_from = None
+    ckpt = os.path.join(workdir, "stage1.ckpt")
+    if os.path.exists(ckpt):
+        resumes_from = checkpoint_row(ckpt, len(s0), len(s1))
+    pipeline = CUDAlign(config, workdir=workdir, observer=observer,
+                        manifest_extra={"job_id": spec.job_id,
+                                        "attempt": attempt,
+                                        "resumes_from_row": resumes_from})
+    result = pipeline.run(s0, s1, visualize=False)
+    alignment = result.alignment
+    return {
+        "job_id": spec.job_id,
+        "attempt": attempt,
+        "best_score": result.best_score,
+        "alignment_length": result.alignment_length,
+        "start": list(alignment.start) if alignment is not None else None,
+        "end": list(alignment.end) if alignment is not None else None,
+        "m": result.m,
+        "n": result.n,
+        "wall_seconds": result.wall_seconds,
+        "resumed_from_row": result.stage1.resumed_from_row,
+        "digest0": sequence_digest(s0.codes.tobytes()),
+        "digest1": sequence_digest(s1.codes.tobytes()),
+        "manifest": os.path.join(workdir, "manifest.json"),
+        "workdir": workdir,
+    }
+
+
+def _job_main(conn, spec_json: dict[str, Any], workdir: str,
+              attempt: int) -> None:
+    """Child-process entry point."""
+    try:
+        summary = execute_job(JobSpec.from_json(spec_json), workdir, attempt)
+        conn.send({"ok": True, "summary": summary})
+    except BaseException as exc:  # report everything; the parent decides
+        conn.send({"ok": False,
+                   "error": f"{type(exc).__name__}: {exc}",
+                   "traceback": traceback.format_exc()})
+    finally:
+        conn.close()
+
+
+@dataclass
+class Attempt:
+    """One in-flight child process."""
+
+    record: JobRecord
+    process: Any
+    conn: Any
+    started: float = field(default_factory=time.monotonic)
+
+    @property
+    def deadline_exceeded(self) -> bool:
+        deadline = self.record.spec.deadline_seconds
+        return (deadline is not None and
+                time.monotonic() - self.started > deadline)
+
+
+@dataclass(frozen=True)
+class Finished:
+    """Outcome of one completed (or killed) attempt."""
+
+    record: JobRecord
+    ok: bool
+    summary: dict[str, Any] | None = None
+    error: str | None = None
+    timed_out: bool = False
+
+
+class WorkerPool:
+    """Up to ``workers`` concurrent job processes."""
+
+    def __init__(self, workers: int):
+        # Central worker-count policy: same rule as PipelineConfig.workers.
+        if workers < 1:
+            raise ConfigError("workers must be positive")
+        self.workers = workers
+        self._running: list[Attempt] = []
+
+    @property
+    def free_slots(self) -> int:
+        return self.workers - len(self._running)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._running)
+
+    def dispatch(self, record: JobRecord, workdir: str) -> None:
+        """Start one attempt of ``record`` in a fresh child process."""
+        if self.free_slots <= 0:
+            raise ConfigError("dispatch() with no free worker slot")
+        os.makedirs(workdir, exist_ok=True)
+        parent_conn, child_conn = _CTX.Pipe(duplex=False)
+        process = _CTX.Process(
+            target=_job_main,
+            args=(child_conn, record.spec.to_json(), workdir,
+                  record.attempts),
+            name=f"repro-job-{record.job_id}")
+        process.start()
+        child_conn.close()
+        self._running.append(Attempt(record=record, process=process,
+                                     conn=parent_conn))
+
+    def poll(self) -> list[Finished]:
+        """Harvest finished attempts; kill any past their deadline."""
+        done: list[Finished] = []
+        still: list[Attempt] = []
+        for attempt in self._running:
+            if attempt.conn.poll():
+                message = attempt.conn.recv()
+                attempt.process.join()
+                attempt.conn.close()
+                if message["ok"]:
+                    done.append(Finished(attempt.record, True,
+                                         summary=message["summary"]))
+                else:
+                    done.append(Finished(attempt.record, False,
+                                         error=message["error"]))
+            elif not attempt.process.is_alive():
+                # Died without reporting (e.g. SIGKILL, OOM).
+                attempt.process.join()
+                attempt.conn.close()
+                done.append(Finished(
+                    attempt.record, False,
+                    error=f"worker died with exit code "
+                          f"{attempt.process.exitcode}"))
+            elif attempt.deadline_exceeded:
+                attempt.process.terminate()
+                attempt.process.join()
+                attempt.conn.close()
+                done.append(Finished(
+                    attempt.record, False, timed_out=True,
+                    error=f"deadline of "
+                          f"{attempt.record.spec.deadline_seconds}s exceeded"))
+            else:
+                still.append(attempt)
+        self._running = still
+        return done
+
+    def shutdown(self) -> None:
+        """Terminate every in-flight attempt (service teardown)."""
+        for attempt in self._running:
+            if attempt.process.is_alive():
+                attempt.process.terminate()
+            attempt.process.join()
+            attempt.conn.close()
+        self._running = []

@@ -13,6 +13,7 @@ format and its I/O behaviour.
 
 from __future__ import annotations
 
+import json
 import math
 import os
 from dataclasses import dataclass, field
@@ -21,6 +22,10 @@ import numpy as np
 
 from repro.constants import SCORE_DTYPE, SPECIAL_CELL_BYTES
 from repro.errors import StorageError
+
+#: Per-store metadata journal of the disk-backed layout (one JSON line per
+#: saved special line) — what makes a store recoverable by a new process.
+INDEX_NAME = "index.jsonl"
 
 
 def flush_interval_blocks(m: int, n: int, block_rows: int, sra_bytes: int) -> int:
@@ -100,10 +105,15 @@ class SpecialLineStore:
     the per-band columns of Stage 2).  With ``directory`` set, every line
     is round-tripped through a raw binary file — the real disk behaviour
     the paper measures; otherwise lines stay in memory.
+
+    A disk-backed store also appends one metadata line per save to
+    ``directory/index.jsonl``; passing ``recover=True`` replays that
+    journal so a *new process* resuming a crashed run (Stage-1 checkpoint
+    restart) sees every line flushed before the crash.
     """
 
     def __init__(self, capacity_bytes: int, directory: str | os.PathLike | None = None,
-                 *, tracer=None):
+                 *, tracer=None, recover: bool = False):
         if capacity_bytes < 0:
             raise StorageError("capacity must be non-negative")
         self.capacity_bytes = int(capacity_bytes)
@@ -113,10 +123,14 @@ class SpecialLineStore:
         self.bytes_used = 0
         self.bytes_written = 0  # lifetime flush traffic (perf model input)
         self.bytes_read = 0     # lifetime load traffic
+        #: Number of lines re-registered from the on-disk index journal.
+        self.recovered_lines = 0
         #: Optional :class:`repro.telemetry.Tracer`; when set, every flush
         #: and load is wrapped in an ``sra.flush`` / ``sra.load`` span.
         self.tracer = tracer
         self._lines: dict[tuple[str, int], SavedLine] = {}
+        if recover and self.directory is not None:
+            self._recover()
 
     def save(self, namespace: str, line: SavedLine) -> None:
         """Store a line, enforcing the byte budget."""
@@ -143,6 +157,7 @@ class SpecialLineStore:
             path = self._path(namespace, line.position)
             os.makedirs(os.path.dirname(path), exist_ok=True)
             payload.tofile(path)
+            self._append_index(namespace, line)
         self._lines[key] = line
         self.bytes_used += line.nbytes
         self.bytes_written += line.nbytes
@@ -192,3 +207,48 @@ class SpecialLineStore:
         assert self.directory is not None
         safe = namespace.replace("/", "_")
         return os.path.join(self.directory, safe, f"{position}.bin")
+
+    # ------------------------------------------------------------ recovery
+    def _index_path(self) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, INDEX_NAME)
+
+    def _append_index(self, namespace: str, line: SavedLine) -> None:
+        record = {"ns": namespace, "pos": line.position, "axis": line.axis,
+                  "lo": line.lo, "count": int(line.H.size)}
+        with open(self._index_path(), "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def _recover(self) -> None:
+        """Re-register lines a previous process flushed to this directory.
+
+        Entries whose payload file has since been released are skipped, as
+        are duplicates (a re-run appends a fresh index entry over the same
+        payload path).  Budget accounting resumes where the dead process
+        left off; ``bytes_written`` stays 0 — recovery is not flush
+        traffic.
+        """
+        index = self._index_path()
+        if not os.path.exists(index):
+            return
+        with open(index, "r", encoding="utf-8") as handle:
+            for raw in handle:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                rec = json.loads(raw)
+                key = (rec["ns"], rec["pos"])
+                path = self._path(*key)
+                if key in self._lines or not os.path.exists(path):
+                    continue
+                payload = np.fromfile(path, dtype=SCORE_DTYPE)
+                if payload.size != 2 * rec["count"]:
+                    raise StorageError(
+                        f"special line {key} is truncated on disk: "
+                        f"{payload.size} values, expected {2 * rec['count']}")
+                line = SavedLine(axis=rec["axis"], position=rec["pos"],
+                                 lo=rec["lo"], H=payload[0::2].copy(),
+                                 G=payload[1::2].copy())
+                self._lines[key] = line
+                self.bytes_used += line.nbytes
+                self.recovered_lines += 1

@@ -59,9 +59,14 @@ def build_manifest(*, sequences: dict[str, Any], config: dict[str, Any],
                    result: dict[str, Any], stages: dict[str, Any],
                    stage_wall_seconds: dict[str, float],
                    metrics: dict[str, Any],
-                   spans: list[dict[str, Any]]) -> dict[str, Any]:
-    """Assemble the manifest dict (pure data in, pure JSON out)."""
-    return {
+                   spans: list[dict[str, Any]],
+                   extra: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Assemble the manifest dict (pure data in, pure JSON out).
+
+    ``extra`` is an optional caller payload (the job service records job
+    id and attempt number here); omitted entirely when ``None``.
+    """
+    manifest = {
         "version": MANIFEST_VERSION,
         "tool": "repro-cudalign",
         "created_unix": time.time(),
@@ -74,6 +79,9 @@ def build_manifest(*, sequences: dict[str, Any], config: dict[str, Any],
         "metrics": json_safe(metrics),
         "spans": json_safe(spans),
     }
+    if extra is not None:
+        manifest["extra"] = json_safe(extra)
+    return manifest
 
 
 def write_manifest(path: str | os.PathLike, manifest: dict[str, Any]) -> str:

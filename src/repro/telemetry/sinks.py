@@ -90,6 +90,9 @@ class JsonLinesSink(TelemetrySink):
             self.path = getattr(path, "name", "<stream>")
         else:
             self.path = os.fspath(path)
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
             self._file = open(self.path, "w", encoding="utf-8")
             self._owns = True
         self._lock = threading.Lock()

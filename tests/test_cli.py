@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -55,6 +57,60 @@ class TestAlign:
         p0, p1, _, _ = fasta_pair
         rc = main(["align", p0, p1, "--paper-grids"])
         assert rc == 0
+
+    def test_align_trace_metrics_progress_together(self, fasta_pair,
+                                                   tmp_path, capsys):
+        p0, p1, _, _ = fasta_pair
+        # Trace path in a not-yet-existing directory: JsonLinesSink must
+        # create the parents itself.
+        trace = tmp_path / "deep" / "nested" / "trace.jsonl"
+        rc = main(["align", p0, p1, "--block-rows", "32",
+                   "--trace", str(trace), "--metrics", "--progress"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "best score:" in captured.out
+        assert "stage1" in captured.err        # progress lines
+        assert "metrics:" in captured.out or "stage1" in captured.out
+        lines = [json.loads(line)
+                 for line in trace.read_text().splitlines()]
+        assert any(rec.get("name") == "pipeline" for rec in lines)
+
+    def test_align_checkpoint_every_nested_workdir(self, fasta_pair,
+                                                   tmp_path, capsys):
+        """--checkpoint-every on a tiny input, with a workdir whose
+        parents do not exist yet (regression: nested workdir creation)."""
+        p0, p1, _, _ = fasta_pair
+        workdir = tmp_path / "runs" / "2026" / "aug" / "job"
+        rc = main(["align", p0, p1, "--block-rows", "32",
+                   "--checkpoint-every", "64", "--workdir", str(workdir)])
+        assert rc == 0
+        assert "best score:" in capsys.readouterr().out
+        assert (workdir / "manifest.json").exists()
+
+    def test_align_workers_zero_clean_error(self, fasta_pair, capsys):
+        p0, p1, _, _ = fasta_pair
+        rc = main(["align", p0, p1, "--workers", "0"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "workers must be positive" in err
+
+    def test_batch_workers_zero_clean_error(self, tmp_path, capsys):
+        spec_file = tmp_path / "specs.json"
+        spec_file.write_text('[{"catalog": "162Kx172K"}]')
+        rc = main(["batch", str(spec_file), "--root", str(tmp_path / "svc"),
+                   "--workers", "0"])
+        assert rc == 2
+        assert "workers must be positive" in capsys.readouterr().err
+
+    def test_batch_without_specs_or_resume(self, tmp_path, capsys):
+        rc = main(["batch", "--root", str(tmp_path / "svc")])
+        assert rc == 2
+        assert "spec file" in capsys.readouterr().err
+
+    def test_jobs_without_journal(self, tmp_path, capsys):
+        rc = main(["jobs", "--root", str(tmp_path / "empty")])
+        assert rc == 1
+        assert "no journal" in capsys.readouterr().err
 
     def test_align_no_hit(self, tmp_path, capsys):
         a = tmp_path / "a.fasta"

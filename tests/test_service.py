@@ -1,0 +1,414 @@
+"""Tests for the batch alignment job service (repro.service)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.align.scoring import PAPER_SCHEME, ScoringScheme
+from repro.errors import ConfigError
+from repro.sequences import homologous_pair, write_fasta
+from repro.service import (
+    AlignmentService,
+    FailureInjector,
+    InjectedFailure,
+    JOURNAL_NAME,
+    JobQueue,
+    JobSpec,
+    JobState,
+    ResultCache,
+    WorkerPool,
+    cache_key,
+    config_fingerprint,
+    execute_job,
+    load_specs,
+    replay_journal,
+)
+
+
+@pytest.fixture
+def fasta_pair(tmp_path):
+    rng = np.random.default_rng(7)
+    s0, s1 = homologous_pair(600, rng, names=("jobA", "jobB"))
+    p0 = tmp_path / "a.fasta"
+    p1 = tmp_path / "b.fasta"
+    write_fasta(p0, s0)
+    write_fasta(p1, s1)
+    return str(p0), str(p1)
+
+
+# --------------------------------------------------------------- JobSpec
+class TestJobSpec:
+    def test_requires_exactly_one_input_form(self, fasta_pair):
+        p0, p1 = fasta_pair
+        with pytest.raises(ConfigError):
+            JobSpec()  # neither paths nor catalog
+        with pytest.raises(ConfigError):
+            JobSpec(seq0=p0)  # seq1 missing
+        with pytest.raises(ConfigError):
+            JobSpec(seq0=p0, seq1=p1, catalog="162Kx172K")  # both forms
+        JobSpec(seq0=p0, seq1=p1)
+        JobSpec(catalog="162Kx172K")
+
+    def test_envelope_validation(self, fasta_pair):
+        p0, p1 = fasta_pair
+        with pytest.raises(ConfigError):
+            JobSpec(seq0=p0, seq1=p1, max_retries=-1)
+        with pytest.raises(ConfigError):
+            JobSpec(seq0=p0, seq1=p1, deadline_seconds=0)
+
+    def test_pipeline_knobs_validated_at_submit_time(self, fasta_pair):
+        p0, p1 = fasta_pair
+        # PipelineConfig owns the rule; the spec probes it on construction.
+        with pytest.raises(ConfigError):
+            JobSpec(seq0=p0, seq1=p1, workers=0)
+        with pytest.raises(ConfigError):
+            JobSpec(seq0=p0, seq1=p1, block_rows=0)
+
+    def test_auto_ids_unique(self, fasta_pair):
+        p0, p1 = fasta_pair
+        a = JobSpec(seq0=p0, seq1=p1)
+        b = JobSpec(seq0=p0, seq1=p1)
+        assert a.job_id != b.job_id
+        assert a.job_id.startswith("job-")
+
+    def test_json_round_trip(self, fasta_pair):
+        p0, p1 = fasta_pair
+        spec = JobSpec(job_id="rt", seq0=p0, seq1=p1,
+                       scheme=ScoringScheme(2, -1, 3, 1), priority=4,
+                       deadline_seconds=9.5, inject_failure_row=100)
+        clone = JobSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.scheme == ScoringScheme(2, -1, 3, 1)
+
+    def test_from_json_rejects_unknown_fields(self):
+        with pytest.raises(ConfigError, match="unknown job spec"):
+            JobSpec.from_json({"catalog": "162Kx172K", "bogus": 1})
+
+
+# ----------------------------------------------------------------- cache
+class TestCache:
+    def test_fingerprint_ignores_execution_knobs(self):
+        base = JobSpec(catalog="162Kx172K")
+        threaded = JobSpec(catalog="162Kx172K", workers=4,
+                           checkpoint_every_rows=None)
+        coarser = JobSpec(catalog="162Kx172K", block_rows=32)
+        n = 4096
+        assert (config_fingerprint(base.pipeline_config(n))
+                == config_fingerprint(threaded.pipeline_config(n)))
+        assert (config_fingerprint(base.pipeline_config(n))
+                != config_fingerprint(coarser.pipeline_config(n)))
+
+    def test_key_depends_on_scheme_and_order(self):
+        fp = "f" * 64
+        base = cache_key("d0", "d1", PAPER_SCHEME, fp)
+        assert cache_key("d0", "d1", PAPER_SCHEME, fp) == base
+        assert cache_key("d1", "d0", PAPER_SCHEME, fp) != base
+        assert cache_key("d0", "d1", ScoringScheme(2, -1, 3, 1), fp) != base
+
+    def test_put_get_persists_across_instances(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get("k" * 64) is None
+        cache.put("k" * 64, {"best_score": 42})
+        assert cache.get("k" * 64) == {"best_score": 42}
+        reopened = ResultCache(tmp_path / "cache")
+        assert reopened.get("k" * 64)["best_score"] == 42
+        assert len(reopened) == 1
+
+    def test_stats(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.get("a" * 64)
+        cache.put("a" * 64, {"x": 1})
+        cache.get("a" * 64)
+        stats = cache.stats()
+        assert stats == {"entries": 1, "hits": 1, "misses": 1,
+                         "hit_rate": 0.5}
+
+
+# ----------------------------------------------------------------- queue
+class TestJobQueue:
+    def test_priority_then_fifo(self, tmp_path):
+        queue = JobQueue(tmp_path / JOURNAL_NAME)
+        low = queue.submit(JobSpec(job_id="low", catalog="162Kx172K"))
+        hi1 = queue.submit(JobSpec(job_id="hi1", catalog="162Kx172K",
+                                   priority=5))
+        queue.submit(JobSpec(job_id="hi2", catalog="162Kx172K", priority=5))
+        assert queue.next_pending() is hi1
+        assert queue.next_pending(skip={"hi1", "hi2"}) is low
+        queue.mark_running(hi1)
+        assert queue.next_pending().job_id == "hi2"
+
+    def test_duplicate_id_rejected(self, tmp_path):
+        queue = JobQueue(tmp_path / JOURNAL_NAME)
+        queue.submit(JobSpec(job_id="x", catalog="162Kx172K"))
+        with pytest.raises(ConfigError):
+            queue.submit(JobSpec(job_id="x", catalog="162Kx172K"))
+
+    def test_journal_replay_reconstructs_states(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        queue = JobQueue(path)
+        ok = queue.submit(JobSpec(job_id="ok", catalog="162Kx172K"))
+        bad = queue.submit(JobSpec(job_id="bad", catalog="162Kx172K",
+                                   max_retries=0))
+        queue.mark_running(ok)
+        queue.mark_succeeded(ok, {"best_score": 7, "wall_seconds": 0.1})
+        queue.mark_running(bad)
+        queue.mark_failed(bad, "boom")
+        records, events = replay_journal(path)
+        by_id = {r.job_id: r for r in records}
+        assert by_id["ok"].state == JobState.SUCCEEDED
+        assert by_id["ok"].result["best_score"] == 7
+        assert by_id["bad"].state == JobState.FAILED
+        assert by_id["bad"].error == "boom"
+        assert [e["event"] for e in events][:2] == ["submitted", "submitted"]
+
+    def test_recover_requeues_interrupted_without_charging_retries(
+            self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        queue = JobQueue(path)
+        mid = queue.submit(JobSpec(job_id="mid", catalog="162Kx172K"))
+        queue.mark_running(mid)          # service "dies" here
+        # Torn final line from the killed process must not break replay.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "succ')
+        recovered = JobQueue.recover(path)
+        record = recovered.get("mid")
+        assert record.state == JobState.PENDING
+        assert record.failures == 0      # interrupted, not failed
+        _, events = replay_journal(path)
+        assert events[-1]["event"] == "recovered"
+
+    def test_recover_missing_journal_is_empty(self, tmp_path):
+        queue = JobQueue.recover(tmp_path / "nope" / JOURNAL_NAME)
+        assert len(queue) == 0 and queue.depth == 0
+
+
+# -------------------------------------------------------------- specfile
+class TestSpecFile:
+    def test_json_array_and_jsonl(self, tmp_path):
+        array = tmp_path / "specs.json"
+        array.write_text(json.dumps(
+            [{"catalog": "162Kx172K"}, {"catalog": "543Kx536K"}]))
+        lines = tmp_path / "specs.jsonl"
+        lines.write_text('# comment\n{"catalog": "162Kx172K"}\n\n'
+                         '{"catalog": "543Kx536K", "priority": 3}\n')
+        assert [s.catalog for s in load_specs(array)] == \
+               ["162Kx172K", "543Kx536K"]
+        specs = load_specs(lines)
+        assert specs[1].priority == 3
+
+    def test_malformed(self, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text("  \n")
+        with pytest.raises(ConfigError, match="empty"):
+            load_specs(empty)
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text('{"catalog": ')
+        with pytest.raises(ConfigError, match="line 1"):
+            load_specs(torn)
+        scalar = tmp_path / "scalar.json"
+        scalar.write_text('[1, 2]')
+        with pytest.raises(ConfigError, match="expected an object"):
+            load_specs(scalar)
+
+
+# ---------------------------------------------------------------- worker
+class TestWorker:
+    def test_pool_rejects_nonpositive_workers(self):
+        with pytest.raises(ConfigError, match="workers must be positive"):
+            WorkerPool(0)
+
+    def test_execute_job_inline(self, fasta_pair, tmp_path):
+        p0, p1 = fasta_pair
+        spec = JobSpec(job_id="inline", seq0=p0, seq1=p1, block_rows=32)
+        summary = execute_job(spec, str(tmp_path / "wd"), attempt=1)
+        assert summary["best_score"] > 0
+        assert not summary["resumed_from_row"]   # fresh run, no resume
+        assert os.path.exists(summary["manifest"])
+        assert len(summary["digest0"]) == 64
+
+    def test_failure_injector_fires_only_past_row(self):
+        injector = FailureInjector(m=1000, fail_at_row=500)
+        injector.on_stage_progress("stage1", 0.25)   # row 250: fine
+        injector.on_stage_progress("stage2", 1.0)    # other stages: fine
+        with pytest.raises(InjectedFailure):
+            injector.on_stage_progress("stage1", 0.6)
+
+
+# --------------------------------------------------------------- service
+def _read_json(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestAlignmentService:
+    def test_acceptance_batch(self, fasta_pair, tmp_path, capsys):
+        """The ISSUE acceptance scenario, via the `repro batch` CLI.
+
+        8 jobs, one duplicate, one injected mid-run failure: the
+        duplicate is served from the ResultCache, the failed job is
+        retried from its checkpoint (Stage 1 resumes rather than
+        re-running, visible in its span records), and queue-depth /
+        cache-hit metrics land in the service manifest.
+        """
+        from repro.cli import main
+
+        p0, p1 = fasta_pair
+        specs = [
+            {"job_id": "alpha", "seq0": p0, "seq1": p1, "block_rows": 32},
+            {"job_id": "alpha-dup", "seq0": p0, "seq1": p1,
+             "block_rows": 32},
+            {"job_id": "boom", "seq0": p0, "seq1": p1, "block_rows": 32,
+             "scheme": [2, -1, 3, 1], "checkpoint_every_rows": 64,
+             "inject_failure_row": 200},
+        ] + [{"job_id": f"cat-{seed}", "catalog": "162Kx172K",
+              "scale": 8192, "seed": seed, "block_rows": 32}
+             for seed in range(5)]
+        spec_file = tmp_path / "specs.json"
+        spec_file.write_text(json.dumps(specs))
+        root = tmp_path / "svc"
+
+        rc = main(["batch", str(spec_file), "--root", str(root),
+                   "--workers", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "served from cache" in out
+
+        manifest = _read_json(root / "manifest.json")
+        jobs = {j["job_id"]: j for j in manifest["jobs"]}
+        assert len(jobs) == 8
+
+        # Duplicate served from the cache (never ran a worker).
+        dup = jobs["alpha-dup"]
+        assert dup["state"] == JobState.CACHED
+        assert dup["cache_hit"] is True
+        assert dup["attempts"] == 0
+        assert dup["result"]["best_score"] == \
+               jobs["alpha"]["result"]["best_score"]
+        assert dup["cache_key"] == jobs["alpha"]["cache_key"]
+
+        # Injected failure: first attempt died, retry resumed from the
+        # checkpoint and succeeded.
+        boom = jobs["boom"]
+        assert boom["state"] == JobState.SUCCEEDED
+        assert boom["attempts"] == 2
+        assert boom["failures"] == 1
+        assert boom["result"]["resumed_from_row"] >= 64
+
+        # Stage 1 was not re-run from scratch: its span on the retry
+        # records a positive resume row, and the job manifest's extra
+        # block agrees.
+        job_manifest = _read_json(root / "jobs" / "boom" / "manifest.json")
+        stage1_spans = [s for s in job_manifest["spans"]
+                        if s["name"] == "stage1"]
+        assert stage1_spans
+        assert all(s["attributes"]["resumed_from_row"] >= 64
+                   for s in stage1_spans)
+        assert job_manifest["extra"]["attempt"] == 2
+        assert job_manifest["extra"]["resumes_from_row"] >= 64
+
+        # Service-level metrics: queue depth gauge and cache-hit rate.
+        metrics = manifest["metrics"]
+        assert metrics["service.queue_depth"] == 0
+        assert metrics["service.jobs_submitted"] == 8
+        assert metrics["service.cache_hits"] >= 1
+        assert metrics["service.retries"] == 1
+        assert manifest["cache"]["hit_rate"] > 0
+        assert manifest["summary"]["succeeded"] == 7
+        assert manifest["summary"]["cached"] == 1
+        # One service.job span per finished attempt.
+        assert sum(1 for s in manifest["spans"]
+                   if s["name"] == "service.job") >= 8
+
+    def test_kill_and_resume_queue(self, tmp_path, capsys):
+        """`--max-jobs 1` then `--resume` is the kill+resume analogue:
+        the journal alone carries the queue across service processes and
+        the second run serves the duplicate from the persisted cache."""
+        from repro.cli import main
+
+        specs = [
+            {"job_id": "first", "catalog": "162Kx172K", "scale": 8192,
+             "block_rows": 32},
+            {"job_id": "first-dup", "catalog": "162Kx172K", "scale": 8192,
+             "block_rows": 32},
+            {"job_id": "other", "catalog": "162Kx172K", "scale": 8192,
+             "seed": 9, "block_rows": 32},
+        ]
+        spec_file = tmp_path / "specs.json"
+        spec_file.write_text(json.dumps(specs))
+        root = tmp_path / "svc"
+
+        rc = main(["batch", str(spec_file), "--root", str(root),
+                   "--max-jobs", "1"])
+        assert rc == 0
+        assert "still pending" in capsys.readouterr().out
+
+        rc = main(["batch", "--resume", "--root", str(root)])
+        assert rc == 0
+        capsys.readouterr()
+
+        records, events = replay_journal(root / JOURNAL_NAME)
+        by_id = {r.job_id: r for r in records}
+        assert by_id["first"].state == JobState.SUCCEEDED
+        assert by_id["first-dup"].state == JobState.CACHED
+        assert by_id["other"].state == JobState.SUCCEEDED
+        assert any(e["event"] == "recovered" for e in events)
+
+        rc = main(["jobs", "--root", str(root)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "first-dup" in out and "cached" in out
+
+    def test_deadline_timeout_fails_job(self, fasta_pair, tmp_path):
+        p0, p1 = fasta_pair
+        service = AlignmentService(tmp_path / "svc")
+        try:
+            service.submit(JobSpec(job_id="slow", seq0=p0, seq1=p1,
+                                   deadline_seconds=1e-3, max_retries=0))
+            summary = service.run()
+        finally:
+            service.close()
+        record = service.queue.get("slow")
+        assert record.state == JobState.FAILED
+        assert "deadline" in record.error
+        assert summary["timeouts"] == 1
+        assert summary["failed"] == 1
+
+    def test_retries_exhausted_marks_failed(self, fasta_pair, tmp_path):
+        p0, p1 = fasta_pair
+        service = AlignmentService(tmp_path / "svc")
+        try:
+            # No checkpointing and failure injected on *every* row of
+            # every attempt would defeat the injector's attempt<=1 guard;
+            # instead exhaust the budget with max_retries=0.
+            service.submit(JobSpec(
+                job_id="doomed", seq0=p0, seq1=p1, max_retries=0,
+                checkpoint_every_rows=None, inject_failure_row=100))
+            summary = service.run()
+        finally:
+            service.close()
+        record = service.queue.get("doomed")
+        assert record.state == JobState.FAILED
+        assert "InjectedFailure" in record.error
+        assert summary["retries"] == 0
+
+    def test_python_api_summary(self, tmp_path):
+        service = AlignmentService(tmp_path / "svc", workers=2)
+        try:
+            service.submit_many([
+                JobSpec(job_id="a", catalog="162Kx172K", scale=8192,
+                        block_rows=32),
+                JobSpec(job_id="b", catalog="162Kx172K", scale=8192,
+                        block_rows=32),   # duplicate of a
+            ])
+            summary = service.run()
+        finally:
+            service.close()
+        assert summary["jobs"] == 2
+        assert summary["succeeded"] + summary["cached"] == 2
+        assert summary["cached"] == 1
+        assert summary["jobs_per_second"] > 0
+        assert summary["cache"]["hits"] == 1
