@@ -1,0 +1,100 @@
+"""Integrity-framing overhead — checksummed artifact I/O versus raw.
+
+Round-trips a batch of special-line-sized payloads through the
+integrity codec (CRC32 + SHA-256 framing, atomic write+rename, verified
+read) and through bare ``open()`` calls, then does the same for sealed
+versus plain journal appends.  The table reports MB/s both ways and the
+relative cost — the price of making every artifact corruption
+detectable at read time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.integrity import codec
+
+from benchmarks.conftest import emit
+
+#: Payloads sized like real special lines (2 int32 per cell, n+1 cells).
+LINE_CELLS = 64 * 1024
+LINE_COUNT = 48
+JOURNAL_RECORDS = 2000
+
+
+def _payloads() -> list[bytes]:
+    rng = np.random.default_rng(7)
+    return [rng.integers(0, 2**31, 2 * LINE_CELLS, dtype=np.int32).tobytes()
+            for _ in range(LINE_COUNT)]
+
+
+def _raw_round_trip(directory, payloads) -> float:
+    tick = time.perf_counter()
+    for index, payload in enumerate(payloads):
+        path = os.path.join(directory, f"{index}.raw")
+        with open(path, "wb") as handle:
+            handle.write(payload)
+        with open(path, "rb") as handle:
+            assert len(handle.read()) == len(payload)
+    return time.perf_counter() - tick
+
+
+def _framed_round_trip(directory, payloads) -> float:
+    tick = time.perf_counter()
+    for index, payload in enumerate(payloads):
+        path = os.path.join(directory, f"{index}.bin")
+        codec.write_artifact(path, payload, codec.KIND_SPECIAL_LINE)
+        assert len(codec.read_artifact(path, codec.KIND_SPECIAL_LINE)) == \
+            len(payload)
+    return time.perf_counter() - tick
+
+
+def _plain_appends(path) -> float:
+    tick = time.perf_counter()
+    for index in range(JOURNAL_RECORDS):
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"event": "started", "n": index}) + "\n")
+    return time.perf_counter() - tick
+
+
+def _sealed_appends(path) -> float:
+    tick = time.perf_counter()
+    for index in range(JOURNAL_RECORDS):
+        codec.append_journal_record(path, {"event": "started", "n": index})
+    return time.perf_counter() - tick
+
+
+def test_integrity_overhead(tmp_path):
+    payloads = _payloads()
+    total_mb = sum(len(p) for p in payloads) / 2**20
+
+    for directory in ("raw", "framed"):
+        (tmp_path / directory).mkdir()
+    raw_s = _raw_round_trip(tmp_path / "raw", payloads)
+    framed_s = _framed_round_trip(tmp_path / "framed", payloads)
+
+    plain_s = _plain_appends(tmp_path / "plain.jsonl")
+    sealed_s = _sealed_appends(tmp_path / "sealed.jsonl")
+
+    lines = [
+        f"Integrity framing overhead — {LINE_COUNT} payloads x "
+        f"{LINE_CELLS} cells ({total_mb:.0f} MB), "
+        f"{JOURNAL_RECORDS} journal appends",
+        "",
+        f"{'artifact path':>22} {'raw':>10} {'framed':>10} {'cost':>7}",
+        f"{'line write+read MB/s':>22} {total_mb / raw_s:>10.0f} "
+        f"{total_mb / framed_s:>10.0f} {framed_s / raw_s:>6.2f}x",
+        f"{'journal appends/s':>22} {JOURNAL_RECORDS / plain_s:>10.0f} "
+        f"{JOURNAL_RECORDS / sealed_s:>10.0f} {sealed_s / plain_s:>6.2f}x",
+        "",
+        "framed = CRC32 + SHA-256 frame, atomic write+rename, verified "
+        "read;",
+        "sealed = per-record CRC + torn-tail healing.  The paper's flush "
+        "model charges ~13 s/GB for SRA traffic, so checksum cost stays "
+        "in the I/O noise at scale.",
+    ]
+    emit("integrity_overhead", lines)

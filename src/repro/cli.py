@@ -10,7 +10,9 @@
 * ``cudalign synth`` — generate a synthetic pair as FASTA files;
 * ``cudalign batch jobs.json --root DIR`` — run a file of alignment jobs
   through the job service (queue, worker pool, result cache, retries);
-* ``cudalign jobs --root DIR`` — inspect a service root's queue journal.
+* ``cudalign jobs --root DIR`` — inspect a service root's queue journal;
+* ``cudalign fsck DIR`` — verify every checksummed artifact under a run
+  or service directory, optionally quarantining/repairing damage.
 """
 
 from __future__ import annotations
@@ -18,13 +20,15 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, StorageError
 from repro.align.scoring import ScoringScheme
 from repro.core.config import PipelineConfig, small_config
 from repro.core.pipeline import CUDAlign
 from repro.sequences.catalog import CATALOG, get_entry
 from repro.sequences.fasta import read_fasta, write_fasta
-from repro.storage.binary_alignment import BinaryAlignment
+from repro.storage.binary_alignment import (BinaryAlignment,
+                                            read_binary_alignment,
+                                            write_binary_alignment)
 from repro.telemetry import JsonLinesSink, ProgressRenderer
 from repro.viz.dotplot import svg_dotplot
 from repro.viz.text_render import render_alignment_text
@@ -92,8 +96,7 @@ def cmd_align(args: argparse.Namespace) -> int:
         for name, value in sorted((result.metrics or {}).items()):
             print(f"  {name}: {value}", file=out)
     if args.binary_out:
-        with open(args.binary_out, "wb") as handle:
-            handle.write(result.binary.encode())
+        write_binary_alignment(args.binary_out, result.binary)
         print(f"binary alignment written to {args.binary_out} "
               f"({result.binary.nbytes} bytes)", file=out)
     if args.svg_out and result.alignment is not None:
@@ -104,8 +107,16 @@ def cmd_align(args: argparse.Namespace) -> int:
 
 
 def cmd_view(args: argparse.Namespace) -> int:
+    from repro.integrity import MAGIC
+
     with open(args.binary, "rb") as handle:
-        binary = BinaryAlignment.decode(handle.read())
+        head = handle.read(len(MAGIC))
+    if head == MAGIC:
+        binary = read_binary_alignment(args.binary)
+    else:
+        # Pre-integrity file: the bare wire format, unchecksummed.
+        with open(args.binary, "rb") as handle:
+            binary = BinaryAlignment.decode(handle.read())
     s0 = read_fasta(args.seq0)
     s1 = read_fasta(args.seq1)
     alignment = binary.reconstruct()
@@ -192,12 +203,36 @@ def cmd_jobs(args: argparse.Namespace) -> int:
     from repro.service import JOURNAL_NAME, replay_journal
 
     journal = os.path.join(args.root, JOURNAL_NAME)
-    records, events = replay_journal(journal)
+    records, events, corrupt = replay_journal(journal)
     if not events:
         print(f"no journal at {journal}", file=sys.stderr)
         return 1
     print(render_jobs_table(records, events), end="")
+    if corrupt:
+        print(f"warning: {corrupt} corrupt journal record(s) skipped "
+              f"(run `fsck {args.root}` for details)", file=sys.stderr)
     return 0
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.integrity import fsck_tree
+
+    report = fsck_tree(args.root, repair=args.repair)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(f"fsck {report.root}: {report.scanned} artifact(s) scanned, "
+              f"{report.verified} verified, {len(report.findings)} "
+              f"problem(s), {len(report.repaired)} repaired")
+        for finding in report.findings:
+            print(f"  [{finding.problem}] {finding.path}"
+                  + (f" ({finding.kind})" if finding.kind else ""))
+            print(f"      {finding.detail}")
+        for path in report.repaired:
+            print(f"  repaired: {path}")
+    return 0 if report.clean else 1
 
 
 def cmd_synth(args: argparse.Namespace) -> int:
@@ -305,6 +340,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_jobs.add_argument("--root", required=True)
     p_jobs.set_defaults(func=cmd_jobs)
 
+    p_fsck = sub.add_parser(
+        "fsck", help="verify every checksummed artifact under a directory")
+    p_fsck.add_argument("root",
+                        help="run workdir or service root to scan")
+    p_fsck.add_argument("--repair", action="store_true",
+                        help="quarantine corrupt artifacts and rewrite "
+                             "damaged journals keeping their valid records")
+    p_fsck.add_argument("--json", action="store_true",
+                        help="print the report as JSON")
+    p_fsck.set_defaults(func=cmd_fsck)
+
     p_synth = sub.add_parser("synth", help="generate a catalog pair as FASTA")
     p_synth.add_argument("key")
     p_synth.add_argument("out0")
@@ -326,6 +372,11 @@ def main(argv: list[str] | None = None) -> int:
         # errors: one clean line, not a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except StorageError as exc:
+        # Corrupt or unreadable artifacts (e.g. `view` on a damaged
+        # binary alignment): report cleanly and point at fsck.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -2,19 +2,27 @@
 
 At paper scale Stage 1 runs for ~18 hours (97% of the pipeline), so crash
 recovery matters.  A checkpoint is the sweep's O(n) linear-space state
-(current H/E/F rows, best cell, row counter) written atomically as an
-``.npz``; special rows flushed before the checkpoint already live in the
-durable SRA, so resuming re-processes at most ``checkpoint_every_rows``
-rows.
+(current H/E/F rows, best cell, row counter) serialized as an ``.npz``
+inside a checksummed artifact frame and written atomically; special rows
+flushed before the checkpoint already live in the durable SRA, so
+resuming re-processes at most ``checkpoint_every_rows`` rows.
+
+A corrupt or torn checkpoint raises :class:`~repro.errors.IntegrityError`
+(a :class:`~repro.errors.StorageError`), never a raw ``zipfile`` or
+``OSError`` traceback — Stage 1 catches it and falls back to a fresh
+sweep, so a bad block costs wall-clock, not the run.
 """
 
 from __future__ import annotations
 
+import io
 import os
+import zipfile
 
 import numpy as np
 
-from repro.errors import StorageError
+from repro.errors import IntegrityError, StorageError
+from repro.integrity import codec
 from repro.align.rowscan import RowSweeper
 
 #: Format version stamped into every checkpoint.
@@ -34,43 +42,69 @@ def save_checkpoint(path: str | os.PathLike, sweeper: RowSweeper,
 def _save_checkpoint(path: str | os.PathLike, sweeper: RowSweeper,
                      m: int, n: int) -> None:
     state = sweeper.state_dict()
-    tmp = f"{os.fspath(path)}.tmp"
-    np.savez(tmp, version=CHECKPOINT_VERSION, m=m, n=n, **state)
-    # numpy appends .npz to the temp name.
-    os.replace(tmp + ".npz", os.fspath(path))
+    buffer = io.BytesIO()
+    np.savez(buffer, version=CHECKPOINT_VERSION, m=m, n=n, **state)
+    codec.write_artifact(os.fspath(path), buffer.getvalue(),
+                         codec.KIND_CHECKPOINT)
 
 
 def load_checkpoint(path: str | os.PathLike, m: int, n: int) -> dict | None:
     """Load a checkpoint if present and consistent with the comparison.
 
     Returns ``None`` when no checkpoint exists; raises
-    :class:`StorageError` when one exists but belongs to a different
-    comparison or format.
+    :class:`IntegrityError` when the file is corrupt (bad frame, torn
+    npz, missing arrays) and plain :class:`StorageError` when it is
+    intact but belongs to a different comparison or format.
     """
+    path = os.fspath(path)
     if not os.path.exists(path):
         return None
-    with np.load(path) as data:
-        if int(data["version"]) != CHECKPOINT_VERSION:
-            raise StorageError(
-                f"checkpoint {path} has unsupported version {int(data['version'])}")
-        if int(data["m"]) != m or int(data["n"]) != n:
-            raise StorageError(
-                f"checkpoint {path} belongs to a {int(data['m'])} x "
-                f"{int(data['n'])} comparison, not {m} x {n}")
-        return {key: data[key] for key in
-                ("i", "cells", "H", "E", "F", "best", "best_i", "best_j")}
+    try:
+        payload = codec.read_artifact(path, codec.KIND_CHECKPOINT)
+    except FileNotFoundError:
+        # Vanished between the existence probe and the read (e.g. a
+        # concurrent clear_checkpoint): same as never having existed.
+        return None
+    try:
+        with np.load(io.BytesIO(payload)) as data:
+            if int(data["version"]) != CHECKPOINT_VERSION:
+                raise StorageError(
+                    f"checkpoint {path} has unsupported version "
+                    f"{int(data['version'])}")
+            if int(data["m"]) != m or int(data["n"]) != n:
+                raise StorageError(
+                    f"checkpoint {path} belongs to a {int(data['m'])} x "
+                    f"{int(data['n'])} comparison, not {m} x {n}")
+            return {key: data[key] for key in
+                    ("i", "cells", "H", "E", "F", "best", "best_i", "best_j")}
+    except IntegrityError:
+        raise
+    except StorageError:
+        raise
+    except (zipfile.BadZipFile, OSError, ValueError, KeyError, EOFError) as exc:
+        # The frame verified but the npz inside did not decode: damage
+        # predating the framed write (or a hand-built artifact).
+        raise IntegrityError(
+            f"checkpoint payload is not a readable npz: {exc}",
+            kind=codec.KIND_CHECKPOINT, path=path) from exc
 
 
 def checkpoint_row(path: str | os.PathLike, m: int, n: int) -> int | None:
     """Peek at the row a checkpoint would resume from, without arrays.
 
     Returns ``None`` when no checkpoint exists; raises
-    :class:`StorageError` for a checkpoint of a different comparison.
-    The job service uses this to report "resuming from row N" before it
-    re-dispatches a failed attempt.
+    :class:`StorageError` for a checkpoint of a different comparison and
+    :class:`IntegrityError` for a corrupt one.  The job service uses this
+    to report "resuming from row N" before it re-dispatches a failed
+    attempt.
     """
     state = load_checkpoint(path, m, n)
     return None if state is None else int(state["i"])
+
+
+def quarantine_checkpoint(path: str | os.PathLike) -> str | None:
+    """Preserve a corrupt checkpoint for post-mortem and clear the slot."""
+    return codec.quarantine_file(path)
 
 
 def clear_checkpoint(path: str | os.PathLike) -> None:

@@ -26,7 +26,8 @@ import time
 from dataclasses import dataclass
 from typing import Any
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, IntegrityError
+from repro.integrity.codec import KIND_SPECIAL_LINE
 from repro.align.alignment import Alignment, Composition
 from repro.core.checkpoint import checkpoint_row
 from repro.core.config import PipelineConfig
@@ -210,10 +211,21 @@ class CUDAlign:
         # A valid Stage-1 checkpoint means this run resumes a crashed one:
         # re-register the special rows the dead process already flushed, so
         # Stage 2 finds them without Stage 1 re-sweeping the prefix.
-        resuming = (checkpoint is not None and
-                    checkpoint_row(checkpoint, len(s0), len(s1)) is not None)
+        try:
+            resuming = (checkpoint is not None and
+                        checkpoint_row(checkpoint, len(s0), len(s1))
+                        is not None)
+        except IntegrityError:
+            # Corrupt checkpoint: Stage 1 quarantines it and sweeps fresh;
+            # don't trust the dead run's SRA registration either.
+            resuming = False
         sra = SpecialLineStore(config.sra_bytes, directory=sra_dir,
                                tracer=tel.tracer, recover=resuming)
+        if sra.corrupt_lines:
+            # Lines the recovery replay had to drop: Stage 1 recomputes
+            # and re-flushes them as the sweep passes.
+            tel.corruption(KIND_SPECIAL_LINE, sra_dir or "<sra>",
+                           action="recomputed", count=sra.corrupt_lines)
         sca = SpecialLineStore(config.sca_bytes, directory=sca_dir,
                                tracer=tel.tracer)
 

@@ -23,8 +23,11 @@ from dataclasses import dataclass
 from typing import ClassVar
 
 from repro.constants import TYPE_MATCH
+from repro.errors import IntegrityError
+from repro.integrity.codec import KIND_CHECKPOINT
 from repro.align.rowscan import RowSweeper
-from repro.core.checkpoint import clear_checkpoint, load_checkpoint, save_checkpoint
+from repro.core.checkpoint import (clear_checkpoint, load_checkpoint,
+                                   quarantine_checkpoint, save_checkpoint)
 from repro.core.config import PipelineConfig
 from repro.core.crosspoints import Crosspoint
 from repro.core.result import StageResult
@@ -82,7 +85,15 @@ def run_stage1(s0: Sequence, s1: Sequence, config: PipelineConfig,
                            tracer=tel.tracer)
         resumed_from = 0
         if checkpoint_path is not None:
-            state = load_checkpoint(checkpoint_path, m, n)
+            try:
+                state = load_checkpoint(checkpoint_path, m, n)
+            except IntegrityError as exc:
+                # A corrupt checkpoint only costs the rows it would have
+                # skipped: quarantine it and run a fresh sweep.
+                quarantine_checkpoint(checkpoint_path)
+                tel.corruption(KIND_CHECKPOINT, checkpoint_path,
+                               action="recomputed", detail=str(exc))
+                state = None
             if state is not None:
                 sweep.load_state(state)
                 resumed_from = sweep.i

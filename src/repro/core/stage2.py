@@ -35,7 +35,8 @@ from typing import ClassVar
 import numpy as np
 
 from repro.constants import TYPE_GAP_S1, TYPE_MATCH, swap_gap_type
-from repro.errors import MatchingError
+from repro.errors import IntegrityError, MatchingError
+from repro.integrity.codec import KIND_SPECIAL_LINE
 from repro.align.rowscan import RowSweeper
 from repro.core.config import PipelineConfig
 from repro.core.crosspoints import Crosspoint
@@ -126,7 +127,18 @@ def _run_stage2(s0: Sequence, s1: Sequence, config: PipelineConfig,
 
         row_H = row_F = None
         if r_row > 0:
-            line = sra.load(ROWS_NS, r_row)
+            try:
+                line = sra.load(ROWS_NS, r_row)
+            except IntegrityError as exc:
+                # Degrade, don't die: a special row is an optimization.
+                # Quarantine the damaged line and redo this band against
+                # the next surviving row below — a wider band, more
+                # recomputation, the identical crosspoint chain.
+                sra.quarantine(ROWS_NS, r_row)
+                special_rows.remove(r_row)
+                tel.corruption(KIND_SPECIAL_LINE, exc.path or "<sra>",
+                               action="widened", detail=str(exc))
+                continue
             row_H = line.H.astype(np.int64)
             row_F = line.G.astype(np.int64)
 

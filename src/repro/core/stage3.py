@@ -30,7 +30,8 @@ from typing import ClassVar
 import numpy as np
 
 from repro.constants import TYPE_GAP_S0, TYPE_MATCH
-from repro.errors import MatchingError
+from repro.errors import IntegrityError, MatchingError
+from repro.integrity.codec import KIND_SPECIAL_LINE
 from repro.align.rowscan import RowSweeper
 from repro.core.config import PipelineConfig
 from repro.core.crosspoints import Crosspoint
@@ -71,11 +72,12 @@ def _match_on_row(anchor: Crosspoint, jc: int, line, scheme, goal: int
 
 
 def _split_band(s0: Sequence, s1: Sequence, config: PipelineConfig,
-                sca: SpecialLineStore, band: BandRecord, tracer=None
+                sca: SpecialLineStore, band: BandRecord, tel=NULL_TELEMETRY
                 ) -> tuple[list[Crosspoint], int, float]:
     """Find the crosspoints of one partition; returns (points, cells, t_model)."""
     scheme = config.scheme
     gopen = scheme.gap_open
+    tracer = tel.tracer
     anchor = band.lo
     end = band.hi
     points: list[Crosspoint] = []
@@ -85,7 +87,16 @@ def _split_band(s0: Sequence, s1: Sequence, config: PipelineConfig,
     for jc in band.column_positions:
         if jc <= anchor.j or jc >= end.j:
             continue
-        line = sca.load(band.namespace, jc)
+        try:
+            line = sca.load(band.namespace, jc)
+        except IntegrityError as exc:
+            # A special column only refines the chain; skipping a corrupt
+            # one merges its sub-partition into the next (wider Myers-
+            # Miller recursion downstream, identical alignment).
+            sca.quarantine(band.namespace, jc)
+            tel.corruption(KIND_SPECIAL_LINE, exc.path or "<sca>",
+                           action="widened", detail=str(exc))
+            continue
         goal = end.score - anchor.score
         h = end.i - anchor.i
         w = jc - anchor.j
@@ -152,7 +163,7 @@ def run_stage3(s0: Sequence, s1: Sequence, config: PipelineConfig,
         def work(band: BandRecord):
             # Re-anchor worker-thread spans under the stage span.
             with tel.attach(stage_span):
-                return _split_band(s0, s1, config, sca, band, tel.tracer)
+                return _split_band(s0, s1, config, sca, band, tel)
 
         if config.workers > 1:
             with ThreadPoolExecutor(max_workers=config.workers) as pool:

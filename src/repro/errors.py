@@ -27,6 +27,45 @@ class StorageError(ReproError):
     """Special Rows Area misuse: over-capacity writes, missing rows, bad codec."""
 
 
+class IntegrityError(StorageError):
+    """An on-disk artifact failed its checksum or framing check.
+
+    Raised by :mod:`repro.integrity.codec` when a read-back artifact is
+    corrupt — flipped bits, truncation, a torn write, the wrong artifact
+    kind, or a missing payload.  Carries enough context for telemetry and
+    ``repro fsck`` to report the damage precisely; every raise site has a
+    slower-but-correct recovery (recompute, widen, evict, requeue), so
+    catching this error and degrading is always sound.
+
+    Attributes:
+        kind: artifact kind (``"special-line"``, ``"checkpoint"``, ...),
+            or ``None`` when the frame was too damaged to tell.
+        path: file the artifact was read from (``"<memory>"`` for
+            in-memory decodes).
+        expected / actual: the mismatching digests, when the failure was
+            a checksum mismatch (``None`` for structural damage).
+    """
+
+    def __init__(self, message: str, *, kind: str | None = None,
+                 path: str | None = None, expected: str | None = None,
+                 actual: str | None = None):
+        detail = []
+        if kind is not None:
+            detail.append(f"kind={kind}")
+        if path is not None:
+            detail.append(f"path={path}")
+        if expected is not None:
+            detail.append(f"expected={expected}")
+        if actual is not None:
+            detail.append(f"actual={actual}")
+        super().__init__(
+            message + (f" [{', '.join(detail)}]" if detail else ""))
+        self.kind = kind
+        self.path = path
+        self.expected = expected
+        self.actual = actual
+
+
 class MatchingError(ReproError):
     """The goal-based matching procedure failed to locate the goal score.
 

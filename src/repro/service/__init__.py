@@ -22,7 +22,8 @@ On the command line: ``repro batch specs.json --root runs/batch1`` and
 
 from repro.service.cache import ResultCache, cache_key, config_fingerprint
 from repro.service.job import JobRecord, JobSpec, JobState
-from repro.service.queue import JOURNAL_NAME, JobQueue, replay_journal
+from repro.service.queue import (JOURNAL_NAME, JobQueue, JournalReplay,
+                                 replay_journal)
 from repro.service.service import AlignmentService
 from repro.service.specfile import load_specs
 from repro.service.worker import (
@@ -35,7 +36,7 @@ from repro.service.worker import (
 __all__ = [
     "AlignmentService",
     "JobSpec", "JobRecord", "JobState",
-    "JobQueue", "replay_journal", "JOURNAL_NAME",
+    "JobQueue", "replay_journal", "JournalReplay", "JOURNAL_NAME",
     "ResultCache", "cache_key", "config_fingerprint",
     "WorkerPool", "execute_job", "FailureInjector", "InjectedFailure",
     "load_specs",

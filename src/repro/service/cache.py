@@ -12,8 +12,10 @@ The cache key is a SHA-256 over three components:
   ``checkpoint_every_rows`` (crash-recovery cadence).
 
 Entries are one JSON file per key under ``cache/`` in the service root,
-written atomically, so the cache survives service restarts and is
-shared by every worker.
+written atomically inside a checksummed integrity envelope, so the cache
+survives service restarts and is shared by every worker.  A corrupt or
+truncated entry is never served: it is quarantined, counted, and treated
+as a miss — the job recomputes and overwrites it.
 """
 
 from __future__ import annotations
@@ -26,6 +28,8 @@ from typing import Any
 
 from repro.align.scoring import ScoringScheme
 from repro.core.config import PipelineConfig
+from repro.errors import IntegrityError
+from repro.integrity import codec
 from repro.telemetry.manifest import json_safe
 
 #: Config fields excluded from the fingerprint: execution-only knobs that
@@ -55,36 +59,56 @@ def cache_key(digest0: str, digest1: str, scheme: ScoringScheme,
 
 
 class ResultCache:
-    """Disk-persistent map from cache key to job result payload."""
+    """Disk-persistent map from cache key to job result payload.
 
-    def __init__(self, directory: str | os.PathLike):
+    ``telemetry`` (optional) receives corruption incidents; the cache
+    also keeps its own :attr:`corrupt` counter so callers without a
+    telemetry bundle can still see the damage in :meth:`stats`.
+    """
+
+    def __init__(self, directory: str | os.PathLike, *, telemetry=None):
         self.directory = os.fspath(directory)
         os.makedirs(self.directory, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        self.telemetry = telemetry
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
 
     def get(self, key: str) -> dict[str, Any] | None:
-        """The cached payload, or ``None``; counts hit/miss."""
+        """The cached payload, or ``None``; counts hit/miss.
+
+        A corrupt entry (bad envelope, truncated file, flipped bit) is a
+        *miss*: the file is quarantined so the caller recomputes and the
+        rewrite repairs the cache in place.
+        """
         path = self._path(key)
-        if not os.path.exists(path):
+        try:
+            payload = codec.open_json(
+                codec.read_text(path),
+                expect_kind=codec.KIND_CACHE_ENTRY, path=path)
+        except FileNotFoundError:
             self.misses += 1
             return None
-        with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
+        except IntegrityError as exc:
+            self.corrupt += 1
+            self.misses += 1
+            codec.quarantine_file(path, root=self.directory)
+            if self.telemetry is not None:
+                self.telemetry.metrics.counter("cache.corrupt").add()
+                self.telemetry.corruption(
+                    codec.KIND_CACHE_ENTRY, path, action="evicted",
+                    detail=str(exc))
+            return None
         self.hits += 1
         return payload
 
     def put(self, key: str, payload: dict[str, Any]) -> None:
         """Atomically persist a payload (last writer wins)."""
-        path = self._path(key)
-        tmp = f"{path}.tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(json_safe(payload), handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp, path)
+        text = codec.seal_json(json_safe(payload), codec.KIND_CACHE_ENTRY)
+        codec.atomic_write_bytes(self._path(key), text.encode("utf-8"))
 
     def __len__(self) -> int:
         return sum(1 for name in os.listdir(self.directory)
@@ -93,5 +117,5 @@ class ResultCache:
     def stats(self) -> dict[str, int | float]:
         total = self.hits + self.misses
         return {"entries": len(self), "hits": self.hits,
-                "misses": self.misses,
+                "misses": self.misses, "corrupt": self.corrupt,
                 "hit_rate": self.hits / total if total else 0.0}

@@ -13,16 +13,24 @@ Scheduling order is highest ``priority`` first, FIFO within a priority.
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from typing import Any, Iterable
+from typing import Any, Iterable, NamedTuple
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, IntegrityError
+from repro.integrity import codec
 from repro.service.job import JobRecord, JobSpec, JobState
 
 #: Journal file name inside a service root.
 JOURNAL_NAME = "journal.jsonl"
+
+
+class JournalReplay(NamedTuple):
+    """What folding a journal yields: records, raw events, damage count."""
+
+    records: list[JobRecord]
+    events: list[dict[str, Any]]
+    corrupt: int
 
 
 class JobQueue:
@@ -35,21 +43,17 @@ class JobQueue:
             os.makedirs(parent, exist_ok=True)
         self._records: dict[str, JobRecord] = {}
         self._order: list[str] = []   # submission order (FIFO tiebreak)
+        #: Corrupt journal records skipped by the last :meth:`recover`.
+        self.corrupt_records = 0
 
     # ------------------------------------------------------------ journal
     def _log(self, event: str, job_id: str, **payload: Any) -> None:
-        record = {"event": event, "job_id": job_id, "time": time.time(),
-                  **payload}
-        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
-        with open(self.journal_path, "a+b") as handle:
-            handle.seek(0, os.SEEK_END)
-            if handle.tell() > 0:
-                # A killed process may have torn its final line; never let
-                # the next event merge into (and corrupt) it.
-                handle.seek(-1, os.SEEK_END)
-                if handle.read(1) != b"\n":
-                    handle.write(b"\n")
-            handle.write(line.encode("utf-8") + b"\n")
+        # Sealed (per-line CRC) and torn-line safe; see
+        # codec.append_journal_record for the crash-consistency details.
+        codec.append_journal_record(
+            self.journal_path,
+            {"event": event, "job_id": job_id, "time": time.time(),
+             **payload})
 
     # ------------------------------------------------------------- submit
     def submit(self, spec: JobSpec) -> JobRecord:
@@ -147,10 +151,13 @@ class JobQueue:
         """Rebuild a queue from its journal (missing file -> empty queue).
 
         Appends a ``recovered`` event so the journal itself records every
-        service (re)start.
+        service (re)start.  Corrupt journal records are skipped and
+        counted in :attr:`corrupt_records`; a job whose completion event
+        was the corrupt line simply replays as unfinished and runs again.
         """
         queue = cls(journal_path)
-        records, _ = replay_journal(journal_path)
+        records, _, corrupt = replay_journal(journal_path)
+        queue.corrupt_records = corrupt
         for record in records:
             if record.state == JobState.RUNNING:
                 # The service died mid-attempt: run it again.  The attempt
@@ -161,72 +168,81 @@ class JobQueue:
             queue._order.append(record.job_id)
         if records:
             queue._log("recovered", "-", jobs=len(records),
-                       unfinished=queue.unfinished)
+                       unfinished=queue.unfinished, corrupt=corrupt)
         return queue
 
 
-def replay_journal(journal_path: str | os.PathLike
-                   ) -> tuple[list[JobRecord], list[dict[str, Any]]]:
+def replay_journal(journal_path: str | os.PathLike) -> JournalReplay:
     """Fold a journal into records (submission order) plus the raw events.
 
-    Read-only: used by recovery, ``repro jobs`` and tests.  Unknown or
-    truncated trailing lines are skipped (a killed service may die
-    mid-write); the journal stays interpretable because every complete
-    line is self-contained.
+    Read-only: used by recovery, ``repro jobs`` and tests.  Every line is
+    checksum-verified (:func:`repro.integrity.codec.verify_record`); a
+    corrupt record *anywhere* in the journal — the torn final line of a
+    killed process or a flipped bit in the middle — is skipped and
+    counted in ``corrupt``, never silently folded into job state.
     """
     journal_path = os.fspath(journal_path)
     records: dict[str, JobRecord] = {}
     order: list[str] = []
     events: list[dict[str, Any]] = []
+    corrupt = 0
     if not os.path.exists(journal_path):
-        return [], []
-    with open(journal_path, "r", encoding="utf-8") as handle:
-        for raw in handle:
-            raw = raw.strip()
-            if not raw:
-                continue
-            try:
-                event = json.loads(raw)
-            except json.JSONDecodeError:
-                continue  # torn final line of a killed process
-            events.append(event)
-            kind = event.get("event")
-            job_id = event.get("job_id")
-            if kind == "submitted":
-                spec = JobSpec.from_json(event["spec"])
-                record = JobRecord(spec=spec,
-                                   submitted_unix=event.get("time", 0.0))
-                records[job_id] = record
-                order.append(job_id)
-                continue
-            record = records.get(job_id)
-            if record is None:
-                continue
-            if kind == "started":
-                record.state = JobState.RUNNING
-                record.attempts = event.get("attempt", record.attempts + 1)
-                if record.started_unix is None:
-                    record.started_unix = event.get("time")
-            elif kind == "attempt_failed":
-                record.state = JobState.PENDING
-                record.failures = event.get("failures", record.failures + 1)
-                record.error = event.get("error")
-            elif kind == "succeeded":
-                record.state = JobState.SUCCEEDED
-                record.result = event.get("result")
-                record.finished_unix = event.get("time")
-            elif kind == "cached":
-                record.state = JobState.CACHED
-                record.result = event.get("result")
-                record.cache_hit = True
-                record.cache_key = event.get("cache_key")
-                record.finished_unix = event.get("time")
-            elif kind == "failed":
-                record.state = JobState.FAILED
-                record.failures = event.get("failures", record.failures + 1)
-                record.error = event.get("error")
-                record.finished_unix = event.get("time")
-    return [records[job_id] for job_id in order], events
+        return JournalReplay([], [], 0)
+    try:
+        text = codec.read_text(journal_path)
+    except FileNotFoundError:
+        return JournalReplay([], [], 0)
+    except IntegrityError:
+        return JournalReplay([], [], 1)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            event = codec.verify_record(raw, path=journal_path,
+                                        lineno=lineno)
+        except IntegrityError:
+            corrupt += 1
+            continue
+        events.append(event)
+        kind = event.get("event")
+        job_id = event.get("job_id")
+        if kind == "submitted":
+            spec = JobSpec.from_json(event["spec"])
+            record = JobRecord(spec=spec,
+                               submitted_unix=event.get("time", 0.0))
+            records[job_id] = record
+            order.append(job_id)
+            continue
+        record = records.get(job_id)
+        if record is None:
+            continue
+        if kind == "started":
+            record.state = JobState.RUNNING
+            record.attempts = event.get("attempt", record.attempts + 1)
+            if record.started_unix is None:
+                record.started_unix = event.get("time")
+        elif kind == "attempt_failed":
+            record.state = JobState.PENDING
+            record.failures = event.get("failures", record.failures + 1)
+            record.error = event.get("error")
+        elif kind == "succeeded":
+            record.state = JobState.SUCCEEDED
+            record.result = event.get("result")
+            record.finished_unix = event.get("time")
+        elif kind == "cached":
+            record.state = JobState.CACHED
+            record.result = event.get("result")
+            record.cache_hit = True
+            record.cache_key = event.get("cache_key")
+            record.finished_unix = event.get("time")
+        elif kind == "failed":
+            record.state = JobState.FAILED
+            record.failures = event.get("failures", record.failures + 1)
+            record.error = event.get("error")
+            record.finished_unix = event.get("time")
+    return JournalReplay([records[job_id] for job_id in order], events,
+                         corrupt)
 
 
 def _summary(result: dict[str, Any]) -> dict[str, Any]:

@@ -61,16 +61,24 @@ class AlignmentService:
                  poll_seconds: float = 0.02):
         self.root = os.fspath(root)
         os.makedirs(self.root, exist_ok=True)
-        journal = os.path.join(self.root, JOURNAL_NAME)
-        self.queue = (JobQueue.recover(journal) if resume
-                      else JobQueue(journal))
-        self.cache = ResultCache(os.path.join(self.root, "cache"))
-        self.pool = WorkerPool(workers)
-        self.poll_seconds = poll_seconds
+        # Telemetry first: queue recovery and the cache report corruption
+        # incidents through it.
         observers = (as_observer(observer),) if observer is not None else ()
         self._memory = InMemorySink()
         self.telemetry = Telemetry(sinks=(self._memory,) + tuple(sinks),
                                    observers=observers)
+        journal = os.path.join(self.root, JOURNAL_NAME)
+        self.queue = (JobQueue.recover(journal) if resume
+                      else JobQueue(journal))
+        if self.queue.corrupt_records:
+            self.telemetry.corruption(
+                "journal-record", journal, action="requeued",
+                count=self.queue.corrupt_records,
+                detail="corrupt journal records skipped during recovery")
+        self.cache = ResultCache(os.path.join(self.root, "cache"),
+                                 telemetry=self.telemetry)
+        self.pool = WorkerPool(workers)
+        self.poll_seconds = poll_seconds
         self._inflight_keys: dict[str, str] = {}   # cache key -> job_id
 
     # ------------------------------------------------------------- submit

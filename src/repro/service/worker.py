@@ -22,7 +22,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, StorageError
 from repro.core.checkpoint import checkpoint_row
 from repro.core.pipeline import CUDAlign
 from repro.service.job import JobRecord, JobSpec
@@ -67,7 +67,12 @@ def execute_job(spec: JobSpec, workdir: str, attempt: int) -> dict[str, Any]:
     resumes_from = None
     ckpt = os.path.join(workdir, "stage1.ckpt")
     if os.path.exists(ckpt):
-        resumes_from = checkpoint_row(ckpt, len(s0), len(s1))
+        try:
+            resumes_from = checkpoint_row(ckpt, len(s0), len(s1))
+        except StorageError:
+            # Corrupt or foreign checkpoint: the pipeline quarantines it
+            # and sweeps fresh — the peek must not burn the retry budget.
+            resumes_from = None
     pipeline = CUDAlign(config, workdir=workdir, observer=observer,
                         manifest_extra={"job_id": spec.job_id,
                                         "attempt": attempt,

@@ -6,10 +6,14 @@ from repro.storage.sra import (
     flush_interval_blocks,
     special_row_positions,
 )
-from repro.storage.binary_alignment import BinaryAlignment
+from repro.storage.binary_alignment import (
+    BinaryAlignment,
+    read_binary_alignment,
+    write_binary_alignment,
+)
 
 __all__ = [
     "SavedLine", "SpecialLineStore",
     "flush_interval_blocks", "special_row_positions",
-    "BinaryAlignment",
+    "BinaryAlignment", "read_binary_alignment", "write_binary_alignment",
 ]

@@ -23,6 +23,7 @@ import numpy as np
 from repro.constants import TYPE_GAP_S0, TYPE_GAP_S1
 from repro.errors import StorageError
 from repro.align.alignment import Alignment, GapRun
+from repro.integrity import codec
 
 _MAGIC = b"CDA2"
 _VERSION = 1
@@ -114,3 +115,19 @@ class BinaryAlignment:
     def nbytes(self) -> int:
         """Size of the encoded representation."""
         return _HEADER.size + 24 * (len(self.gap1) + len(self.gap2))
+
+
+def write_binary_alignment(path, binary: BinaryAlignment) -> None:
+    """Atomically write the alignment inside a checksummed frame.
+
+    This is the canonical on-disk form (what ``repro align --binary-out``
+    produces and ``repro fsck`` verifies); :meth:`BinaryAlignment.encode`
+    stays the bare wire format for in-memory use and size accounting.
+    """
+    codec.write_artifact(path, binary.encode(), codec.KIND_BINARY_ALIGNMENT)
+
+
+def read_binary_alignment(path) -> BinaryAlignment:
+    """Read and checksum-verify a framed binary alignment file."""
+    return BinaryAlignment.decode(
+        codec.read_artifact(path, codec.KIND_BINARY_ALIGNMENT))

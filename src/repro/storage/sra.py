@@ -7,13 +7,13 @@ flush-interval law, and accounts every byte written (the performance model
 charges ~13 s/GB of flush traffic, Section V-B).
 
 Lines can be held in memory (the default for scaled-down runs) or written
-to disk as raw little-endian int32 pairs, preserving the paper's storage
-format and its I/O behaviour.
+to disk as little-endian int32 pairs inside a checksummed artifact frame
+(:mod:`repro.integrity.codec`), preserving the paper's storage format and
+its I/O behaviour while making corruption detectable at read time.
 """
 
 from __future__ import annotations
 
-import json
 import math
 import os
 from dataclasses import dataclass, field
@@ -21,7 +21,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.constants import SCORE_DTYPE, SPECIAL_CELL_BYTES
-from repro.errors import StorageError
+from repro.errors import IntegrityError, StorageError
+from repro.integrity import codec
 
 #: Per-store metadata journal of the disk-backed layout (one JSON line per
 #: saved special line) — what makes a store recoverable by a new process.
@@ -125,6 +126,8 @@ class SpecialLineStore:
         self.bytes_read = 0     # lifetime load traffic
         #: Number of lines re-registered from the on-disk index journal.
         self.recovered_lines = 0
+        #: Corrupt artifacts detected (and quarantined) during recovery.
+        self.corrupt_lines = 0
         #: Optional :class:`repro.telemetry.Tracer`; when set, every flush
         #: and load is wrapped in an ``sra.flush`` / ``sra.load`` span.
         self.tracer = tracer
@@ -156,7 +159,8 @@ class SpecialLineStore:
             payload[1::2] = line.G
             path = self._path(namespace, line.position)
             os.makedirs(os.path.dirname(path), exist_ok=True)
-            payload.tofile(path)
+            codec.write_artifact(path, payload.tobytes(),
+                                 codec.KIND_SPECIAL_LINE)
             self._append_index(namespace, line)
         self._lines[key] = line
         self.bytes_used += line.nbytes
@@ -178,7 +182,18 @@ class SpecialLineStore:
     def _load(self, meta: SavedLine, namespace: str, position: int) -> SavedLine:
         if self.directory is None:
             return meta
-        payload = np.fromfile(self._path(namespace, position), dtype=SCORE_DTYPE)
+        path = self._path(namespace, position)
+        try:
+            raw = codec.read_artifact(path, codec.KIND_SPECIAL_LINE)
+        except FileNotFoundError as exc:
+            raise IntegrityError(
+                "special line payload file is missing",
+                kind=codec.KIND_SPECIAL_LINE, path=path) from exc
+        payload = np.frombuffer(raw, dtype=SCORE_DTYPE)
+        if payload.size != 2 * meta.H.size:
+            raise IntegrityError(
+                f"special line holds {payload.size} values, index declares "
+                f"{2 * meta.H.size}", kind=codec.KIND_SPECIAL_LINE, path=path)
         return SavedLine(axis=meta.axis, position=meta.position, lo=meta.lo,
                          H=payload[0::2].copy(), G=payload[1::2].copy())
 
@@ -193,15 +208,47 @@ class SpecialLineStore:
         consumed them, which is what keeps total disk usage O(m + n).
         """
         freed = 0
-        for key in [k for k in self._lines if k[0] == namespace]:
+        released = [k for k in self._lines if k[0] == namespace]
+        for key in released:
             line = self._lines.pop(key)
             freed += line.nbytes
             if self.directory is not None:
                 path = self._path(*key)
                 if os.path.exists(path):
                     os.remove(path)
+        if released and self.directory is not None:
+            # Tombstone the namespace so the index journal replays (and
+            # fsck cross-references) to the files actually on disk.
+            codec.append_journal_record(
+                self._index_path(), {"ns": namespace, "released": True})
         self.bytes_used -= freed
         return freed
+
+    def quarantine(self, namespace: str, position: int) -> str | None:
+        """Drop a corrupt line: deregister it and preserve the damaged file.
+
+        The degrade-don't-die primitive: after a load raises
+        :class:`IntegrityError`, the consumer quarantines the line and
+        recomputes across the gap (Stage 2 widens its band, Stage 3 falls
+        back to the next surviving special column).  Returns where the
+        damaged file was moved, or ``None`` for in-memory stores.
+        """
+        key = (namespace, position)
+        line = self._lines.pop(key, None)
+        if line is not None:
+            self.bytes_used -= line.nbytes
+        self.corrupt_lines += 1
+        if self.directory is None:
+            return None
+        dest = codec.quarantine_file(
+            self._path(namespace, position), root=self.directory,
+            label=f"{namespace.replace('/', '_')}_{position}.bin")
+        # Tombstone the line: its index record no longer promises a
+        # payload, so a later fsck sees a consistent tree.
+        codec.append_journal_record(
+            self._index_path(),
+            {"ns": namespace, "pos": position, "dropped": True})
+        return dest
 
     def _path(self, namespace: str, position: int) -> str:
         assert self.directory is not None
@@ -216,39 +263,67 @@ class SpecialLineStore:
     def _append_index(self, namespace: str, line: SavedLine) -> None:
         record = {"ns": namespace, "pos": line.position, "axis": line.axis,
                   "lo": line.lo, "count": int(line.H.size)}
-        with open(self._index_path(), "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        codec.append_journal_record(self._index_path(), record)
 
     def _recover(self) -> None:
         """Re-register lines a previous process flushed to this directory.
 
         Entries whose payload file has since been released are skipped, as
         are duplicates (a re-run appends a fresh index entry over the same
-        payload path).  Budget accounting resumes where the dead process
-        left off; ``bytes_written`` stays 0 — recovery is not flush
-        traffic.
+        payload path).  A corrupt index record or payload artifact is
+        quarantined and counted, never fatal: a lost special line only
+        costs recomputation.  Budget accounting resumes where the dead
+        process left off; ``bytes_written`` stays 0 — recovery is not
+        flush traffic.
         """
         index = self._index_path()
         if not os.path.exists(index):
             return
-        with open(index, "r", encoding="utf-8") as handle:
-            for raw in handle:
-                raw = raw.strip()
-                if not raw:
-                    continue
-                rec = json.loads(raw)
-                key = (rec["ns"], rec["pos"])
-                path = self._path(*key)
-                if key in self._lines or not os.path.exists(path):
-                    continue
-                payload = np.fromfile(path, dtype=SCORE_DTYPE)
+        for lineno, raw in enumerate(
+                codec.read_text(index).splitlines(), start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                rec = codec.verify_record(raw, path=index, lineno=lineno)
+            except IntegrityError:
+                # The torn/corrupt record's payload (if any) is orphaned;
+                # fsck reports it, recovery just loses that one line.
+                self.corrupt_lines += 1
+                continue
+            if rec.get("released"):
+                # Namespace tombstone: everything saved so far is gone.
+                for key in [k for k in self._lines if k[0] == rec["ns"]]:
+                    dead = self._lines.pop(key)
+                    self.bytes_used -= dead.nbytes
+                    self.recovered_lines -= 1
+                continue
+            key = (rec["ns"], rec["pos"])
+            if rec.get("dropped"):
+                dead = self._lines.pop(key, None)
+                if dead is not None:
+                    self.bytes_used -= dead.nbytes
+                    self.recovered_lines -= 1
+                continue
+            path = self._path(*key)
+            if key in self._lines or not os.path.exists(path):
+                continue
+            try:
+                payload = np.frombuffer(
+                    codec.read_artifact(path, codec.KIND_SPECIAL_LINE),
+                    dtype=SCORE_DTYPE)
                 if payload.size != 2 * rec["count"]:
-                    raise StorageError(
-                        f"special line {key} is truncated on disk: "
-                        f"{payload.size} values, expected {2 * rec['count']}")
-                line = SavedLine(axis=rec["axis"], position=rec["pos"],
-                                 lo=rec["lo"], H=payload[0::2].copy(),
-                                 G=payload[1::2].copy())
-                self._lines[key] = line
-                self.bytes_used += line.nbytes
-                self.recovered_lines += 1
+                    raise IntegrityError(
+                        f"special line holds {payload.size} values, index "
+                        f"declares {2 * rec['count']}",
+                        kind=codec.KIND_SPECIAL_LINE, path=path)
+            except IntegrityError:
+                self.corrupt_lines += 1
+                codec.quarantine_file(path, root=self.directory)
+                continue
+            line = SavedLine(axis=rec["axis"], position=rec["pos"],
+                             lo=rec["lo"], H=payload[0::2].copy(),
+                             G=payload[1::2].copy())
+            self._lines[key] = line
+            self.bytes_used += line.nbytes
+            self.recovered_lines += 1

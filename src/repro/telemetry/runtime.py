@@ -50,6 +50,26 @@ class Telemetry:
     def attach(self, span: Span):
         return self.tracer.attach(span)
 
+    # ---------------------------------------------------------- integrity
+    def corruption(self, kind: str, path: str, *, action: str,
+                   detail: str = "", count: int = 1) -> None:
+        """Record detected artifact corruption and the recovery taken.
+
+        One call per incident: bumps ``integrity.corruption_detected``,
+        the per-kind ``integrity.corrupt.<kind>`` counter and — because
+        every detection site has a degrade path — ``integrity.recovered``
+        with the ``action`` (``recomputed``, ``widened``, ``evicted``,
+        ``requeued``, ``quarantined``) attached to an
+        ``integrity.corruption`` span event.
+        """
+        self.metrics.counter("integrity.corruption_detected").add(count)
+        self.metrics.counter(f"integrity.corrupt.{kind}").add(count)
+        self.metrics.counter("integrity.recovered").add(count)
+        with self.span("integrity.corruption", kind=kind, path=str(path),
+                       action=action, count=count) as span:
+            if detail:
+                span.set(detail=detail)
+
     # ---------------------------------------------------------- observers
     def stage_start(self, stage: str) -> None:
         for observer in self.observers:
@@ -163,6 +183,10 @@ class NullTelemetry:
     @contextmanager
     def attach(self, span: Any) -> Iterator[None]:
         yield
+
+    def corruption(self, kind: str, path: str, *, action: str,
+                   detail: str = "", count: int = 1) -> None:
+        pass
 
     def stage_start(self, stage: str) -> None:
         pass

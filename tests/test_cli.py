@@ -9,7 +9,7 @@ import pytest
 
 from repro.cli import main
 from repro.sequences import homologous_pair, write_fasta
-from repro.storage import BinaryAlignment
+from repro.storage import read_binary_alignment
 
 
 @pytest.fixture
@@ -39,8 +39,7 @@ class TestAlign:
         rc = main(["align", p0, p1, "--block-rows", "32",
                    "--binary-out", str(bin_path), "--svg-out", str(svg_path)])
         assert rc == 0
-        blob = bin_path.read_bytes()
-        binary = BinaryAlignment.decode(blob)
+        binary = read_binary_alignment(bin_path)
         rebuilt = binary.reconstruct()
         assert rebuilt.end[0] <= len(s0)
         assert svg_path.read_text().startswith("<svg")
@@ -182,3 +181,57 @@ class TestViewAndTools:
         assert rc == 0
         from repro.sequences import open_packed
         assert len(open_packed(out)) == len(s0)
+
+    def test_view_corrupt_binary_clean_error(self, fasta_pair, tmp_path,
+                                             capsys):
+        from repro.integrity import corrupt_file
+
+        p0, p1, _, _ = fasta_pair
+        bin_path = tmp_path / "aln.bin"
+        main(["align", p0, p1, "--block-rows", "32",
+              "--binary-out", str(bin_path)])
+        capsys.readouterr()
+        corrupt_file(bin_path, "bitflip", seed=5)
+        rc = main(["view", str(bin_path), p0, p1])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFsck:
+    @pytest.fixture
+    def workdir(self, fasta_pair, tmp_path, capsys):
+        p0, p1, _, _ = fasta_pair
+        wd = tmp_path / "wd"
+        rc = main(["align", p0, p1, "--block-rows", "32", "--sra-rows", "4",
+                   "--checkpoint-every", "64", "--workdir", str(wd)])
+        assert rc == 0
+        capsys.readouterr()
+        return wd
+
+    def test_fsck_clean_tree_exits_zero(self, workdir, capsys):
+        rc = main(["fsck", str(workdir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 problem(s)" in out
+
+    def test_fsck_detects_then_repairs(self, workdir, capsys):
+        from repro.integrity import corrupt_file
+
+        lines = sorted((workdir / "sra" / "stage1_rows").glob("*.bin"))
+        assert lines
+        corrupt_file(lines[0], "bitflip", seed=1)
+        rc = main(["fsck", str(workdir)])
+        assert rc == 1
+        assert "bad-frame" in capsys.readouterr().out
+
+        rc = main(["fsck", str(workdir), "--repair"])
+        assert rc == 0
+        assert "repaired" in capsys.readouterr().out
+        # The damaged line was preserved, not destroyed.
+        assert list((workdir / "sra" / "stage1_rows" /
+                     "quarantine").iterdir())
+
+        rc = main(["fsck", str(workdir), "--json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["clean"] is True and report["findings"] == []

@@ -1,5 +1,7 @@
 """Failure injection: corrupted storage and inconsistent inputs must be
-caught by the pipeline's invariant checks, never silently mis-align."""
+caught — by the artifact checksums when the damage is on disk, and by
+the pipeline's invariant checks when it is past them — and must degrade
+to recomputation, never crash or silently mis-align."""
 
 from __future__ import annotations
 
@@ -9,7 +11,8 @@ import numpy as np
 import pytest
 
 from repro.constants import TYPE_MATCH
-from repro.errors import MatchingError, PartitionError, StorageError
+from repro.errors import (IntegrityError, MatchingError, PartitionError,
+                          StorageError)
 from repro.core import (
     Crosspoint,
     CrosspointChain,
@@ -19,7 +22,11 @@ from repro.core import (
     run_stage5,
     small_config,
 )
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
 from repro.core.stage1 import ROWS_NS
+from repro.integrity import corrupt_file, tamper_special_line
+from repro.service import (JobQueue, JobSpec, ResultCache, JournalReplay,
+                           replay_journal)
 from repro.storage.sra import SavedLine, SpecialLineStore
 
 from tests.conftest import make_pair
@@ -35,17 +42,10 @@ def setup(rng):
     return s0, s1, config, sra, sca, stage1
 
 
-def corrupt_line(store: SpecialLineStore, namespace: str, position: int,
-                 delta: int = -10_007) -> None:
-    """Shift every stored value so no goal equality can ever hold."""
-    line = store.load(namespace, position)
-    # Replace in place through the private map (test-only surgery).
-    store._lines[(namespace, position)] = SavedLine(
-        axis=line.axis, position=line.position, lo=line.lo,
-        H=line.H + np.int32(delta), G=line.G + np.int32(delta))
-
-
 class TestCorruptedSRA:
+    """Damage *past* the storage checksums (device memory, the bus): the
+    codec cannot see it, so the goal-match invariants must."""
+
     def test_corrupted_special_row_never_mis_scores(self, setup):
         # A corrupted row either trips the matching invariant or — when an
         # equally-scoring alignment start exists inside the band — Stage 2
@@ -54,7 +54,7 @@ class TestCorruptedSRA:
         s0, s1, config, sra, sca, stage1 = setup
         rows = sra.positions(ROWS_NS)
         assert rows
-        corrupt_line(sra, ROWS_NS, rows[len(rows) // 2])
+        tamper_special_line(sra, ROWS_NS, rows[len(rows) // 2])
         try:
             stage2 = run_stage2(s0, s1, config, sra, sca, stage1)
         except MatchingError:
@@ -70,7 +70,7 @@ class TestCorruptedSRA:
         if not bands:
             pytest.skip("no special columns saved for this input")
         band = bands[0]
-        corrupt_line(sca, band.namespace, band.column_positions[0])
+        tamper_special_line(sca, band.namespace, band.column_positions[0])
         with pytest.raises(MatchingError):
             run_stage3(s0, s1, config, sca, stage2)
 
@@ -97,16 +97,20 @@ class TestInconsistentChains:
             run_stage5(s0, s1, small, chain)
 
 
+def _saved_line() -> SavedLine:
+    return SavedLine(axis="row", position=8, lo=0,
+                     H=np.arange(6, dtype=np.int32),
+                     G=np.zeros(6, dtype=np.int32))
+
+
 class TestStorageFaults:
     def test_disk_file_deletion_detected(self, tmp_path, rng):
         store = SpecialLineStore(10**6, directory=tmp_path)
-        line = SavedLine(axis="row", position=8, lo=0,
-                         H=np.arange(5, dtype=np.int32),
-                         G=np.zeros(5, dtype=np.int32))
-        store.save("x", line)
+        store.save("x", _saved_line())
         (tmp_path / "x" / "8.bin").unlink()
-        with pytest.raises(FileNotFoundError):
+        with pytest.raises(IntegrityError) as excinfo:
             store.load("x", 8)
+        assert excinfo.value.kind == "special-line"
 
     def test_budget_never_exceeded_under_pressure(self, rng):
         s0, s1 = make_pair(rng, 400, 400)
@@ -116,3 +120,82 @@ class TestStorageFaults:
         run_stage1(s0, s1, config, sra)
         assert sra.bytes_used <= config.sra_bytes
         assert len(sra.positions(ROWS_NS)) <= 1
+
+
+def _strike(path, fault: str) -> None:
+    """One cell of the chaos matrix: damage an on-disk artifact."""
+    corrupt_file(path, "delete" if fault == "missing" else fault, seed=3)
+
+
+class _SweeperStub:
+    """The minimal state_dict surface save_checkpoint needs."""
+
+    i = 7
+
+    def state_dict(self) -> dict:
+        zeros = np.zeros(5, dtype=np.int64)
+        return {"i": 7, "cells": 280, "H": zeros, "E": zeros, "F": zeros,
+                "best": 12, "best_i": 3, "best_j": 4}
+
+
+@pytest.mark.parametrize("fault", ["bitflip", "truncate", "missing"])
+class TestChaosMatrix:
+    """fault x artifact class: every cell detects the damage through the
+    integrity codec and degrades to a recomputable state."""
+
+    def test_sra_line(self, tmp_path, fault):
+        store = SpecialLineStore(10**6, directory=tmp_path)
+        store.save("x", _saved_line())
+        _strike(tmp_path / "x" / "8.bin", fault)
+        with pytest.raises(IntegrityError):
+            store.load("x", 8)
+        # Degrade: quarantine deregisters the line and frees its budget;
+        # consumers recompute across the gap.
+        store.quarantine("x", 8)
+        assert store.positions("x") == []
+        assert store.corrupt_lines == 1
+        assert store.bytes_used == 0
+
+    def test_checkpoint(self, tmp_path, fault):
+        path = tmp_path / "stage1.ckpt"
+        save_checkpoint(path, _SweeperStub(), 300, 280)
+        _strike(path, fault)
+        if fault == "missing":
+            # No checkpoint at all: Stage 1 starts a fresh sweep.
+            assert load_checkpoint(path, 300, 280) is None
+        else:
+            with pytest.raises(IntegrityError) as excinfo:
+                load_checkpoint(path, 300, 280)
+            assert excinfo.value.kind == "checkpoint"
+
+    def test_cache_entry(self, tmp_path, fault):
+        cache = ResultCache(tmp_path)
+        key = "k" * 16
+        cache.put(key, {"best_score": 17})
+        _strike(tmp_path / f"{key}.json", fault)
+        assert cache.get(key) is None          # a miss, never a crash
+        assert cache.misses == 1
+        if fault != "missing":
+            assert cache.corrupt == 1
+            assert list((tmp_path / "quarantine").iterdir())
+        # The recompute's rewrite repairs the cache in place.
+        cache.put(key, {"best_score": 17})
+        assert cache.get(key) == {"best_score": 17}
+
+    def test_journal(self, tmp_path, fault):
+        journal = tmp_path / "journal.jsonl"
+        queue = JobQueue(journal)
+        for _ in range(3):
+            queue.submit(JobSpec(catalog="162Kx172K"))
+        _strike(journal, fault)
+        replay = replay_journal(journal)
+        if fault == "missing":
+            assert replay == JournalReplay([], [], 0)   # fresh queue
+        else:
+            assert replay.corrupt >= 1
+            assert len(replay.records) < 3
+        # Recovery still stands up a working queue; surviving jobs replay
+        # as pending and the lost ones are simply resubmitted.
+        recovered = JobQueue.recover(journal)
+        assert recovered.corrupt_records == replay.corrupt
+        assert all(r.state == "pending" for r in recovered.records())

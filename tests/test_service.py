@@ -125,7 +125,7 @@ class TestCache:
         cache.get("a" * 64)
         stats = cache.stats()
         assert stats == {"entries": 1, "hits": 1, "misses": 1,
-                         "hit_rate": 0.5}
+                         "corrupt": 0, "hit_rate": 0.5}
 
 
 # ----------------------------------------------------------------- queue
@@ -157,7 +157,8 @@ class TestJobQueue:
         queue.mark_succeeded(ok, {"best_score": 7, "wall_seconds": 0.1})
         queue.mark_running(bad)
         queue.mark_failed(bad, "boom")
-        records, events = replay_journal(path)
+        records, events, corrupt = replay_journal(path)
+        assert corrupt == 0
         by_id = {r.job_id: r for r in records}
         assert by_id["ok"].state == JobState.SUCCEEDED
         assert by_id["ok"].result["best_score"] == 7
@@ -178,7 +179,8 @@ class TestJobQueue:
         record = recovered.get("mid")
         assert record.state == JobState.PENDING
         assert record.failures == 0      # interrupted, not failed
-        _, events = replay_journal(path)
+        assert recovered.corrupt_records == 1    # the torn line
+        _, events, _ = replay_journal(path)
         assert events[-1]["event"] == "recovered"
 
     def test_recover_missing_journal_is_empty(self, tmp_path):
@@ -350,7 +352,7 @@ class TestAlignmentService:
         assert rc == 0
         capsys.readouterr()
 
-        records, events = replay_journal(root / JOURNAL_NAME)
+        records, events, _ = replay_journal(root / JOURNAL_NAME)
         by_id = {r.job_id: r for r in records}
         assert by_id["first"].state == JobState.SUCCEEDED
         assert by_id["first-dup"].state == JobState.CACHED
