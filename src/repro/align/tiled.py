@@ -38,6 +38,13 @@ class TileEdges:
     ``top_*`` cover the tile's columns *including* the left-corner column
     (length w + 1); ``left_*`` cover the tile's rows (length h), i.e. the
     H/E values on the boundary column for each interior row.
+
+    ``left_X`` optionally overrides the in-row scan's H-source seed at
+    the boundary column (default: ``left_H``).  A sweep's own column-0
+    boundary needs it: the monolithic kernel seeds the scan with the
+    *unclamped* ``F(i, 0)`` while exposing ``H(i, 0) = max(F, -inf)`` to
+    the diagonal term, and once a forced boundary pushes ``F`` below the
+    -inf floor those two values differ.
     """
 
     top_H: np.ndarray
@@ -45,6 +52,7 @@ class TileEdges:
     top_F: np.ndarray
     left_H: np.ndarray
     left_E: np.ndarray
+    left_X: np.ndarray | None = None
 
 
 @dataclass(frozen=True)
@@ -59,6 +67,10 @@ class TileResult:
     best: int
     best_pos: tuple[int, int]  # tile-relative (row 1.., col 1..)
     cells: int
+    #: First tile cell (row-major, columns 1..w) whose H equals the
+    #: watched value, tile-relative — None when no watch was requested
+    #: or nothing matched.
+    watch_hit: tuple[int, int] | None = None
 
 
 def zero_edges(h: int, w: int, local: bool = True) -> TileEdges:
@@ -77,12 +89,15 @@ def zero_edges(h: int, w: int, local: bool = True) -> TileEdges:
 
 def tile_sweep(codes0: np.ndarray, codes1: np.ndarray, scheme: ScoringScheme,
                edges: TileEdges, *, local: bool = True,
-               track_best: bool = False) -> TileResult:
+               track_best: bool = False,
+               watch_value: int | None = None) -> TileResult:
     """Compute one tile given its boundary edges.
 
     ``codes0`` are the tile's rows, ``codes1`` its columns.  Returns the
     outgoing edges (bottom row with H/E/F — the horizontal bus; right
-    column with H/E — the vertical bus).
+    column with H/E — the vertical bus).  ``watch_value`` records the
+    first own cell whose H equals it (the boundary column belongs to the
+    left neighbour and is checked by the caller).
     """
     codes0 = np.ascontiguousarray(codes0, dtype=np.uint8)
     codes1 = np.ascontiguousarray(codes1, dtype=np.uint8)
@@ -108,6 +123,7 @@ def tile_sweep(codes0: np.ndarray, codes1: np.ndarray, scheme: ScoringScheme,
     right_E = np.empty(h, dtype=SCORE_DTYPE)
     best = 0 if local else int(NEG_INF)
     best_pos = (0, 0)
+    watch_hit: tuple[int, int] | None = None
     X = np.empty(w + 1, dtype=SCORE_DTYPE)
     T = np.empty(w + 1, dtype=SCORE_DTYPE)
 
@@ -116,7 +132,7 @@ def tile_sweep(codes0: np.ndarray, codes1: np.ndarray, scheme: ScoringScheme,
         np.maximum(F - gext, H - gfirst, out=F)
         np.add(H[:-1], sub, out=X[1:])
         np.maximum(X[1:], F[1:], out=X[1:])
-        X[0] = edges.left_H[i - 1]
+        X[0] = (edges.left_H if edges.left_X is None else edges.left_X)[i - 1]
         if local:
             # Column 0 belongs to the left neighbour: its F slot is never
             # read downstream (pinned like the monolithic kernel) and the
@@ -140,9 +156,14 @@ def tile_sweep(codes0: np.ndarray, codes1: np.ndarray, scheme: ScoringScheme,
             if row_max > best:
                 best = row_max
                 best_pos = (i, 1 + int(np.argmax(H[1:])))
+        if watch_value is not None and watch_hit is None:
+            hits = np.flatnonzero(H[1:] == watch_value)
+            if hits.size:
+                watch_hit = (i, 1 + int(hits[0]))
     return TileResult(bottom_H=H, bottom_E=E, bottom_F=F,
                       right_H=right_H, right_E=right_E,
-                      best=best, best_pos=best_pos, cells=h * w)
+                      best=best, best_pos=best_pos, cells=h * w,
+                      watch_hit=watch_hit)
 
 
 @dataclass(frozen=True)

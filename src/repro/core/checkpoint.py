@@ -11,6 +11,12 @@ A corrupt or torn checkpoint raises :class:`~repro.errors.IntegrityError`
 (a :class:`~repro.errors.StorageError`), never a raw ``zipfile`` or
 ``OSError`` traceback — Stage 1 catches it and falls back to a fresh
 sweep, so a bad block costs wall-clock, not the run.
+
+Checkpoints are *executor-agnostic*: the parallel wavefront sweeper
+(:class:`~repro.parallel.ParallelRowSweeper`) shares the serial kernel's
+``state_dict``/``load_state`` contract and produces bit-identical state,
+so a run checkpointed under ``--executor wavefront`` resumes under
+``serial`` and vice versa — the file records matrix state, not schedule.
 """
 
 from __future__ import annotations
@@ -75,8 +81,15 @@ def load_checkpoint(path: str | os.PathLike, m: int, n: int) -> dict | None:
                 raise StorageError(
                     f"checkpoint {path} belongs to a {int(data['m'])} x "
                     f"{int(data['n'])} comparison, not {m} x {n}")
-            return {key: data[key] for key in
-                    ("i", "cells", "H", "E", "F", "best", "best_i", "best_j")}
+            state = {key: data[key] for key in
+                     ("i", "cells", "H", "E", "F", "best", "best_i", "best_j")}
+            for key in ("H", "E", "F"):
+                if state[key].shape != (n + 1,):
+                    raise IntegrityError(
+                        f"checkpoint row {key} has shape {state[key].shape}, "
+                        f"expected ({n + 1},)",
+                        kind=codec.KIND_CHECKPOINT, path=path)
+            return state
     except IntegrityError:
         raise
     except StorageError:

@@ -35,7 +35,14 @@ class PipelineConfig:
             per matching round).
         stage4_orthogonal: goal-based reverse halves in Stage 4.
         stage4_balanced: balanced splitting (halve the largest dimension).
-        workers: CPU threads for the partition-parallel stages (3-5).
+        executor: sweep execution model — ``"serial"`` runs every sweep
+            on the monolithic kernel; ``"wavefront"`` runs stages 1-3 as
+            tile grids on a process pool of ``workers`` sweep workers and
+            fans Stage-4/5 partitions across the same pool.  Both are
+            bit-identical; the choice is purely a performance knob.
+        workers: CPU parallelism — sweep processes under the
+            ``"wavefront"`` executor, threads for the partition-parallel
+            stages under ``"serial"``.
         checkpoint_every_rows: Stage-1 checkpoint interval in matrix rows
             (requires a workdir); None disables checkpointing.
     """
@@ -53,10 +60,18 @@ class PipelineConfig:
     stage3_strip: int = 128
     stage4_orthogonal: bool = True
     stage4_balanced: bool = True
+    executor: str = "serial"
     workers: int = 1
     checkpoint_every_rows: int | None = None
 
+    #: Valid ``executor`` values.
+    EXECUTORS = ("serial", "wavefront")
+
     def __post_init__(self) -> None:
+        if self.executor not in self.EXECUTORS:
+            raise ConfigError(
+                f"executor must be one of {self.EXECUTORS}, "
+                f"got {self.executor!r}")
         if self.checkpoint_every_rows is not None and self.checkpoint_every_rows < 1:
             raise ConfigError("checkpoint interval must be positive")
         if self.sra_bytes < 0 or self.sca_bytes < 0:

@@ -201,6 +201,22 @@ class CUDAlign:
                     workdir: str | None, *, visualize: bool
                     ) -> PipelineResult:
         config = self.config
+        executor = None
+        if config.executor == "wavefront":
+            from repro.parallel import WavefrontExecutor
+            executor = WavefrontExecutor(config.workers,
+                                         metrics=tel.metrics)
+        try:
+            return self._run_stages_inner(s0, s1, tel, workdir, executor,
+                                          visualize=visualize)
+        finally:
+            if executor is not None:
+                executor.close()
+
+    def _run_stages_inner(self, s0: Sequence, s1: Sequence, tel: Telemetry,
+                          workdir: str | None, executor, *, visualize: bool
+                          ) -> PipelineResult:
+        config = self.config
         tick = time.perf_counter()
         sra_dir = os.path.join(workdir, "sra") if workdir is not None else None
         sca_dir = os.path.join(workdir, "sca") if workdir is not None else None
@@ -239,7 +255,7 @@ class CUDAlign:
         stage1 = run_stage1(s0, s1, config, sra,
                             checkpoint_path=checkpoint,
                             checkpoint_every_rows=config.checkpoint_every_rows,
-                            telemetry=tel)
+                            telemetry=tel, executor=executor)
         tel.stage_end("stage1", stage1)
         if stage1.best_score <= 0:
             # Nothing aligns: the empty alignment is optimal (score 0).
@@ -252,14 +268,16 @@ class CUDAlign:
                 wall_seconds=time.perf_counter() - tick)
 
         tel.stage_start("stage2")
-        stage2 = run_stage2(s0, s1, config, sra, sca, stage1, telemetry=tel)
+        stage2 = run_stage2(s0, s1, config, sra, sca, stage1, telemetry=tel,
+                            executor=executor)
         tel.stage_end("stage2", stage2)
         chain = CrosspointChain(stage2.crosspoints)
 
         stage3 = None
         if any(band.column_positions for band in stage2.bands):
             tel.stage_start("stage3")
-            stage3 = run_stage3(s0, s1, config, sca, stage2, telemetry=tel)
+            stage3 = run_stage3(s0, s1, config, sca, stage2, telemetry=tel,
+                                executor=executor)
             chain = CrosspointChain(stage3.crosspoints)
             tel.stage_end("stage3", stage3)
 
@@ -268,12 +286,14 @@ class CUDAlign:
         if any(not p.degenerate and p.max_dim > limit
                for p in chain.partitions()):
             tel.stage_start("stage4")
-            stage4 = run_stage4(s0, s1, config, chain, telemetry=tel)
+            stage4 = run_stage4(s0, s1, config, chain, telemetry=tel,
+                                executor=executor)
             chain = CrosspointChain(stage4.crosspoints)
             tel.stage_end("stage4", stage4)
 
         tel.stage_start("stage5")
-        stage5 = run_stage5(s0, s1, config, chain, telemetry=tel)
+        stage5 = run_stage5(s0, s1, config, chain, telemetry=tel,
+                            executor=executor)
         tel.stage_end("stage5", stage5)
 
         stage6 = None

@@ -25,9 +25,9 @@ from typing import ClassVar
 from repro.constants import TYPE_MATCH
 from repro.errors import IntegrityError
 from repro.integrity.codec import KIND_CHECKPOINT
-from repro.align.rowscan import RowSweeper
 from repro.core.checkpoint import (clear_checkpoint, load_checkpoint,
                                    quarantine_checkpoint, save_checkpoint)
+from repro.parallel.sweeper import make_sweeper
 from repro.core.config import PipelineConfig
 from repro.core.crosspoints import Crosspoint
 from repro.core.result import StageResult
@@ -70,8 +70,14 @@ def run_stage1(s0: Sequence, s1: Sequence, config: PipelineConfig,
                sra: SpecialLineStore, *,
                checkpoint_path: str | None = None,
                checkpoint_every_rows: int | None = None,
-               progress=None, telemetry=None) -> Stage1Result:
-    """Sweep the full matrix, track the best cell, flush special rows."""
+               progress=None, telemetry=None, executor=None) -> Stage1Result:
+    """Sweep the full matrix, track the best cell, flush special rows.
+
+    With a :class:`~repro.parallel.WavefrontExecutor` attached the sweep
+    runs as a tile grid on the worker pool — bit-identical, including
+    the flush and checkpoint cadence, because the band loop below drives
+    either kernel through the same ``advance`` windows.
+    """
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     m, n = len(s0), len(s1)
     grid = config.grid1.shrink_to(n, config.device)
@@ -80,9 +86,10 @@ def run_stage1(s0: Sequence, s1: Sequence, config: PipelineConfig,
 
     start = time.perf_counter()
     with tel.span("stage1", m=m, n=n, special_rows=len(rows)) as span:
-        sweep = RowSweeper(s0.codes, s1.codes, config.scheme, local=True,
-                           track_best=True, save_rows=rows,
-                           tracer=tel.tracer)
+        sweep = make_sweeper(s0.codes, s1.codes, config.scheme,
+                             executor=executor, metrics=tel.metrics,
+                             local=True, track_best=True, save_rows=rows,
+                             tracer=tel.tracer)
         resumed_from = 0
         if checkpoint_path is not None:
             try:
@@ -98,8 +105,7 @@ def run_stage1(s0: Sequence, s1: Sequence, config: PipelineConfig,
                 sweep.load_state(state)
                 resumed_from = sweep.i
 
-        in_sra = set(sra.positions(ROWS_NS))
-        flushed = len(in_sra) * 8 * (n + 1)
+        flushed = len(sra.positions(ROWS_NS)) * 8 * (n + 1)
         rows_since_checkpoint = 0
         # Bands of one block row each: the numeric result is identical, but
         # the loop boundary is where the simulated horizontal bus hands rows
@@ -107,14 +113,13 @@ def run_stage1(s0: Sequence, s1: Sequence, config: PipelineConfig,
         while not sweep.done:
             done = sweep.advance(grid.block_rows)
             for r in sorted(sweep.saved):
-                if r in in_sra:
+                if sra.has(ROWS_NS, r):
                     sweep.saved.pop(r)
                     continue
                 h, f = sweep.saved.pop(r)
-                sra.save(ROWS_NS, SavedLine(axis="row", position=r, lo=0,
-                                            H=h, G=f))
-                in_sra.add(r)
-                flushed += 8 * (n + 1)
+                line = SavedLine(axis="row", position=r, lo=0, H=h, G=f)
+                sra.save(ROWS_NS, line)
+                flushed += line.nbytes
             if checkpoint_path is not None and checkpoint_every_rows:
                 rows_since_checkpoint += done
                 if rows_since_checkpoint >= checkpoint_every_rows and not sweep.done:
@@ -139,7 +144,7 @@ def run_stage1(s0: Sequence, s1: Sequence, config: PipelineConfig,
         result = Stage1Result(
             best_score=sweep.best,
             end_point=end_point,
-            special_rows=tuple(sorted(in_sra)),
+            special_rows=tuple(sra.positions(ROWS_NS)),
             flush_interval_rows=interval,
             cells=sweep.cells,
             flushed_bytes=flushed,

@@ -32,8 +32,8 @@ import numpy as np
 from repro.constants import TYPE_GAP_S0, TYPE_MATCH
 from repro.errors import IntegrityError, MatchingError
 from repro.integrity.codec import KIND_SPECIAL_LINE
-from repro.align.rowscan import RowSweeper
 from repro.core.config import PipelineConfig
+from repro.parallel.sweeper import make_sweeper
 from repro.core.crosspoints import Crosspoint
 from repro.core.result import StageResult
 from repro.core.stage2 import BandRecord, Stage2Result
@@ -72,8 +72,8 @@ def _match_on_row(anchor: Crosspoint, jc: int, line, scheme, goal: int
 
 
 def _split_band(s0: Sequence, s1: Sequence, config: PipelineConfig,
-                sca: SpecialLineStore, band: BandRecord, tel=NULL_TELEMETRY
-                ) -> tuple[list[Crosspoint], int, float]:
+                sca: SpecialLineStore, band: BandRecord, tel=NULL_TELEMETRY,
+                executor=None) -> tuple[list[Crosspoint], int, float]:
     """Find the crosspoints of one partition; returns (points, cells, t_model)."""
     scheme = config.scheme
     gopen = scheme.gap_open
@@ -107,9 +107,10 @@ def _split_band(s0: Sequence, s1: Sequence, config: PipelineConfig,
         col_H = line.H.astype(np.int64)
         col_E = line.G.astype(np.int64)
 
-        sweep = RowSweeper(s0.codes[anchor.i:end.i], s1.codes[anchor.j:jc],
-                           scheme, start_gap=anchor.type,
-                           tap_columns=np.array([w]), tracer=tracer)
+        sweep = make_sweeper(s0.codes[anchor.i:end.i], s1.codes[anchor.j:jc],
+                             scheme, executor=executor, metrics=tel.metrics,
+                             start_gap=anchor.type,
+                             tap_columns=np.array([w]), tracer=tracer)
         found: Crosspoint | None = None
         next_i = 0
         while found is None:
@@ -141,6 +142,7 @@ def _split_band(s0: Sequence, s1: Sequence, config: PipelineConfig,
                     f"{band.namespace} (goal {goal})")
             sweep.advance(config.stage3_strip)
         cells += sweep.cells
+        getattr(sweep, "close", lambda: None)()
         sub_h = max(1, sweep.cells // max(1, w))
         grid = config.grid3.shrink_to(max(w, 1), config.device)
         modeled += sweep_cost(sub_h, w, grid, config.device).seconds
@@ -151,8 +153,13 @@ def _split_band(s0: Sequence, s1: Sequence, config: PipelineConfig,
 
 def run_stage3(s0: Sequence, s1: Sequence, config: PipelineConfig,
                sca: SpecialLineStore, stage2: Stage2Result, *,
-               telemetry=None) -> Stage3Result:
-    """Refine every Stage-2 partition against its saved special columns."""
+               telemetry=None, executor=None) -> Stage3Result:
+    """Refine every Stage-2 partition against its saved special columns.
+
+    With a wavefront executor the bands run serially here and each band's
+    sweep parallelises internally on the pool (dispatching tile diagonals
+    from concurrent threads would interleave on the worker pipes).
+    """
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     start = time.perf_counter()
     total_cells = 0
@@ -163,9 +170,9 @@ def run_stage3(s0: Sequence, s1: Sequence, config: PipelineConfig,
         def work(band: BandRecord):
             # Re-anchor worker-thread spans under the stage span.
             with tel.attach(stage_span):
-                return _split_band(s0, s1, config, sca, band, tel)
+                return _split_band(s0, s1, config, sca, band, tel, executor)
 
-        if config.workers > 1:
+        if config.workers > 1 and executor is None:
             with ThreadPoolExecutor(max_workers=config.workers) as pool:
                 results = list(pool.map(work, stage2.bands))
         else:

@@ -1,0 +1,38 @@
+"""Process-pool wavefront execution (Section IV-A's external diagonals).
+
+The package turns the monolithic row-sweep kernel into a grid of
+column-strip tiles scheduled along external diagonals on a pool of
+worker processes, plus a partition-parallel fan-out for the Myers-Miller
+stages.  Everything here is bit-identical to the serial kernels: the
+executor is a performance knob, never a semantics knob.
+
+* :mod:`repro.parallel.shm` — shared-memory segments and the
+  :class:`ArrayRef` descriptors workers map instead of unpickling.
+* :mod:`repro.parallel.wavefront` — the worker pool, the tile kernel
+  driver, and the diagonal dispatch protocol.
+* :mod:`repro.parallel.sweeper` — :class:`ParallelRowSweeper`, a
+  drop-in :class:`~repro.align.rowscan.RowSweeper` whose ``advance``
+  windows run as tile diagonals.
+* :mod:`repro.parallel.tasks` — worker-side bodies for the
+  partition-parallel stages (4 and 5).
+"""
+
+from repro.parallel.shm import ArrayRef, SegmentCache, SharedArray, attach_array
+from repro.parallel.sweeper import (MIN_PARALLEL_CELLS, ParallelRowSweeper,
+                                    make_sweeper)
+from repro.parallel.wavefront import (WavefrontExecutor, boundary_column,
+                                      compute_tile, plan_strip_cols)
+
+__all__ = [
+    "ArrayRef",
+    "MIN_PARALLEL_CELLS",
+    "ParallelRowSweeper",
+    "SegmentCache",
+    "SharedArray",
+    "WavefrontExecutor",
+    "attach_array",
+    "boundary_column",
+    "compute_tile",
+    "make_sweeper",
+    "plan_strip_cols",
+]

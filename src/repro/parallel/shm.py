@@ -1,0 +1,102 @@
+"""Shared-memory plumbing of the wavefront executor.
+
+Sequence codes and the tile edge buses live in named
+``multiprocessing.shared_memory`` segments so workers exchange *names*,
+never megabase arrays: a tile task is a handful of integers plus six
+:class:`ArrayRef` descriptors, and every boundary value crosses process
+boundaries through the mapped buses exactly once.
+
+Python < 3.13 registers *attached* segments with the resource tracker as
+if the attaching process owned them, which makes the tracker try (and
+warn about) a second unlink at exit.  :func:`attach_array` undoes that
+registration — the creating process is the sole owner and unlinker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """Name + layout of a numpy array living in a shared segment."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+class SharedArray:
+    """An owned numpy array backed by named shared memory."""
+
+    def __init__(self, shape: tuple[int, ...], dtype) -> None:
+        dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * dtype.itemsize)
+        self.shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self.array = np.ndarray(shape, dtype=dtype, buffer=self.shm.buf)
+        self.ref = ArrayRef(self.shm.name, tuple(shape), dtype.str)
+
+    @classmethod
+    def from_array(cls, source: np.ndarray) -> "SharedArray":
+        shared = cls(source.shape, source.dtype)
+        shared.array[...] = source
+        return shared
+
+    def close(self) -> None:
+        """Release the mapping and unlink the segment (owner only)."""
+        self.array = None
+        try:
+            self.shm.close()
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def attach_array(ref: ArrayRef) -> tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Map an existing segment read-write without claiming ownership."""
+    shm = shared_memory.SharedMemory(name=ref.name, create=False)
+    try:
+        # Undo the attach-side tracker registration (see module docstring);
+        # private API, so tolerate its absence on future Pythons.
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+    return shm, np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf)
+
+
+class SegmentCache:
+    """Worker-side cache of attached segments, keyed by name.
+
+    A sweep's segments are attached on first use and dropped when the
+    parent broadcasts a ``forget`` after unlinking them (the mapping
+    stays valid until closed; the memory is freed once every process
+    lets go).
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+    def get(self, ref: ArrayRef) -> np.ndarray:
+        entry = self._segments.get(ref.name)
+        if entry is None:
+            entry = self._segments[ref.name] = attach_array(ref)
+        return entry[1]
+
+    def forget(self, names) -> None:
+        for name in names:
+            entry = self._segments.pop(name, None)
+            if entry is not None:
+                try:
+                    entry[0].close()
+                except OSError:
+                    pass
+
+    def close(self) -> None:
+        self.forget(list(self._segments))

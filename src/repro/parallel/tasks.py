@@ -1,0 +1,54 @@
+"""Worker-side task bodies for the partition-parallel stages.
+
+Stages 4 and 5 fan *independent* units of work across the pool: every
+Myers-Miller split and every base-case alignment depends only on its own
+partition, so the unit of exchange is one small frozen dataclass in and
+one small frozen dataclass out.  The heavy inputs — the sequence codes —
+arrive as :class:`~repro.parallel.shm.ArrayRef` descriptors and are
+mapped, not pickled.
+
+The registry maps wire names to callables so the parent never pickles
+functions (and a worker can only run what is registered here).
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+
+def _sequences(payload, arrays):
+    """Rebuild the ``(s0, s1)`` duck-typed views a stage function expects.
+
+    The stage kernels only touch ``.codes``, so a namespace around the
+    mapped array is a full stand-in for :class:`repro.sequences.Sequence`.
+    """
+    return (SimpleNamespace(codes=arrays["codes0"]),
+            SimpleNamespace(codes=arrays["codes1"]))
+
+
+def run_split(payload: dict, arrays: dict) -> tuple:
+    """One Stage-4 Myers-Miller split: partition in, crosspoint out."""
+    from repro.align.myers_miller import MMStats
+    from repro.core.stage4 import split_partition
+
+    s0, s1 = _sequences(payload, arrays)
+    config = SimpleNamespace(scheme=payload["scheme"])
+    stats = MMStats()
+    point = split_partition(s0, s1, payload["partition"], config,
+                            payload["mm_config"], stats)
+    return point, stats
+
+
+def run_align(payload: dict, arrays: dict) -> tuple:
+    """One Stage-5 base case: partition in, full alignment path out."""
+    from repro.core.stage5 import align_partition
+
+    s0, s1 = _sequences(payload, arrays)
+    config = SimpleNamespace(scheme=payload["scheme"])
+    return align_partition(s0, s1, payload["partition"], config)
+
+
+TASK_REGISTRY = {
+    "split": run_split,
+    "align": run_align,
+}

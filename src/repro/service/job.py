@@ -74,6 +74,7 @@ class JobSpec:
     block_rows: int = 64
     sra_rows: int = 8
     max_partition_size: int = 32
+    executor: str = "serial"
     workers: int = 1
     checkpoint_every_rows: int | None = 64
     priority: int = 0
@@ -115,7 +116,7 @@ class JobSpec:
         return small_config(
             block_rows=self.block_rows, n=n, sra_rows=self.sra_rows,
             max_partition_size=self.max_partition_size, scheme=self.scheme,
-            workers=self.workers,
+            executor=self.executor, workers=self.workers,
             checkpoint_every_rows=self.checkpoint_every_rows)
 
     # ------------------------------------------------------------- codecs

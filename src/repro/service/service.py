@@ -33,7 +33,7 @@ from repro.errors import ConfigError
 from repro.service.cache import ResultCache, cache_key, config_fingerprint
 from repro.service.job import JobRecord, JobSpec, JobState
 from repro.service.queue import JOURNAL_NAME, JobQueue
-from repro.service.worker import WorkerPool
+from repro.service.worker import WorkerPool, core_budget
 from repro.telemetry.manifest import (MANIFEST_VERSION, json_safe,
                                       sequence_digest, write_manifest)
 from repro.telemetry.observer import as_observer
@@ -54,11 +54,17 @@ class AlignmentService:
             receiving metric updates.
         sinks: extra telemetry sinks (e.g. a ``JsonLinesSink`` trace).
         poll_seconds: worker-pool polling cadence.
+        cpu_count: host cores the pool may assume (defaults to
+            ``os.cpu_count()``).  Each dispatched job gets an even share
+            — ``max(1, cpu_count // workers)`` — as its cap on
+            intra-pipeline workers, so J jobs x W pipeline workers never
+            exceeds the machine; clamps are counted as
+            ``service.cores_clamped``.
     """
 
     def __init__(self, root: str | os.PathLike, *, workers: int = 1,
                  resume: bool = False, observer=None, sinks: tuple = (),
-                 poll_seconds: float = 0.02):
+                 poll_seconds: float = 0.02, cpu_count: int | None = None):
         self.root = os.fspath(root)
         os.makedirs(self.root, exist_ok=True)
         # Telemetry first: queue recovery and the cache report corruption
@@ -78,6 +84,8 @@ class AlignmentService:
         self.cache = ResultCache(os.path.join(self.root, "cache"),
                                  telemetry=self.telemetry)
         self.pool = WorkerPool(workers)
+        self.cpu_count = cpu_count if cpu_count is not None else (
+            os.cpu_count() or 1)
         self.poll_seconds = poll_seconds
         self._inflight_keys: dict[str, str] = {}   # cache key -> job_id
 
@@ -154,7 +162,12 @@ class AlignmentService:
                 continue
             self.queue.mark_running(record)
             self._inflight_keys[key] = record.job_id
-            self.pool.dispatch(record, self.job_workdir(record.job_id))
+            budget = core_budget(self.cpu_count, self.pool.workers)
+            if record.spec.workers > budget:
+                self.telemetry.metrics.counter(
+                    "service.cores_clamped").add(1)
+            self.pool.dispatch(record, self.job_workdir(record.job_id),
+                               core_budget=budget)
             self._gauges()
         return finished
 
@@ -246,6 +259,7 @@ class AlignmentService:
             "created_unix": time.time(),
             "root": self.root,
             "workers": self.pool.workers,
+            "cpu_count": self.cpu_count,
             "summary": json_safe(summary or {}),
             "jobs": json_safe([r.to_json() for r in self.queue.records()]),
             "metrics": json_safe(self.telemetry.metrics.snapshot()),

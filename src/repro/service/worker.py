@@ -19,7 +19,7 @@ import multiprocessing
 import os
 import time
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.errors import ConfigError, StorageError
@@ -52,15 +52,33 @@ class FailureInjector(PipelineObserver):
                 f"injected failure at stage1 row >= {self.fail_at_row}")
 
 
-def execute_job(spec: JobSpec, workdir: str, attempt: int) -> dict[str, Any]:
+def core_budget(cpu_count: int, job_slots: int) -> int:
+    """Per-job core allowance so J jobs x W workers never oversubscribe.
+
+    The machine's cores are split evenly across the pool's job slots:
+    ``max(1, cpu_count // job_slots)``.  A job asking for more pipeline
+    workers than its share is clamped at dispatch (the service counts
+    those clamps as ``service.cores_clamped``).
+    """
+    return max(1, cpu_count // max(1, job_slots))
+
+
+def execute_job(spec: JobSpec, workdir: str, attempt: int,
+                core_budget: int | None = None) -> dict[str, Any]:
     """Run one attempt of a job in-process; returns the result summary.
 
     This is the body every worker process runs, importable so tests and
     benchmarks can call it inline.  The failure hook only arms on the
     first attempt — the retry must succeed to prove the resume path.
+
+    ``core_budget`` caps the pipeline's intra-job parallelism (the
+    ``workers`` knob) so concurrent jobs don't oversubscribe the host;
+    ``None`` means uncapped (inline callers).
     """
     s0, s1 = spec.load_sequences()
     config = spec.pipeline_config(n=len(s1))
+    if core_budget is not None and config.workers > core_budget:
+        config = replace(config, workers=core_budget)
     observer = None
     if spec.inject_failure_row is not None and attempt <= 1:
         observer = FailureInjector(len(s0), spec.inject_failure_row)
@@ -98,10 +116,11 @@ def execute_job(spec: JobSpec, workdir: str, attempt: int) -> dict[str, Any]:
 
 
 def _job_main(conn, spec_json: dict[str, Any], workdir: str,
-              attempt: int) -> None:
+              attempt: int, core_budget: int | None = None) -> None:
     """Child-process entry point."""
     try:
-        summary = execute_job(JobSpec.from_json(spec_json), workdir, attempt)
+        summary = execute_job(JobSpec.from_json(spec_json), workdir, attempt,
+                              core_budget=core_budget)
         conn.send({"ok": True, "summary": summary})
     except BaseException as exc:  # report everything; the parent decides
         conn.send({"ok": False,
@@ -156,8 +175,13 @@ class WorkerPool:
     def in_flight(self) -> int:
         return len(self._running)
 
-    def dispatch(self, record: JobRecord, workdir: str) -> None:
-        """Start one attempt of ``record`` in a fresh child process."""
+    def dispatch(self, record: JobRecord, workdir: str,
+                 core_budget: int | None = None) -> None:
+        """Start one attempt of ``record`` in a fresh child process.
+
+        ``core_budget`` is forwarded to :func:`execute_job` to cap the
+        job's intra-pipeline workers.
+        """
         if self.free_slots <= 0:
             raise ConfigError("dispatch() with no free worker slot")
         os.makedirs(workdir, exist_ok=True)
@@ -165,7 +189,7 @@ class WorkerPool:
         process = _CTX.Process(
             target=_job_main,
             args=(child_conn, record.spec.to_json(), workdir,
-                  record.attempts),
+                  record.attempts, core_budget),
             name=f"repro-job-{record.job_id}")
         process.start()
         child_conn.close()

@@ -201,6 +201,15 @@ class SpecialLineStore:
         """Sorted line positions stored under a namespace."""
         return sorted(pos for ns, pos in self._lines if ns == namespace)
 
+    def has(self, namespace: str, position: int) -> bool:
+        """O(1) membership probe.
+
+        Stage 1 asks this per special row when resuming from a
+        checkpoint, so rows the dead run already flushed are not
+        re-written (the budget would reject the duplicate anyway).
+        """
+        return (namespace, position) in self._lines
+
     def release(self, namespace: str) -> int:
         """Drop every line of a namespace, freeing budget; returns bytes freed.
 

@@ -15,7 +15,9 @@ PipelineObserver.on_metric` notifications are produced.
 from __future__ import annotations
 
 import threading
-from typing import Any
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
 
 
 class Counter:
@@ -70,6 +72,15 @@ class Histogram:
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
         self._registry._emit(self.name, "histogram", value)
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Observe the wall-clock duration of the ``with`` body, in seconds."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - start)
 
     @property
     def mean(self) -> float:

@@ -133,6 +133,10 @@ class _NullInstrument:
     def observe(self, value: int | float) -> None:
         pass
 
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        yield
+
     def summary(self) -> dict[str, Any]:
         return {"count": 0, "total": 0.0, "min": None, "max": None,
                 "mean": 0.0}

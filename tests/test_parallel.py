@@ -1,0 +1,297 @@
+"""The wavefront executor's contract is bit-identity, not approximation.
+
+Every test here compares the tile-grid sweep (``repro.parallel``) against
+the monolithic serial kernel on the same inputs and asserts *exact*
+equality of every observable — H/E/F rows, best cell, watch hit, saved
+rows, final-column taps, checkpoints, and the full six-stage pipeline's
+binary alignment.  Geometries are adversarial on purpose: one-column
+strips, strips wider than the matrix, widths that don't divide n, and
+forced/start-gap boundary sweeps whose column-0 algebra is the subtlest
+part of the tiling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.constants import NEG_INF, TYPE_GAP_S0, TYPE_GAP_S1, TYPE_MATCH
+from repro.errors import ConfigError
+from repro.align.rowscan import RowSweeper
+from repro.align.scoring import PAPER_SCHEME, ScoringScheme
+from repro.core import CUDAlign, run_stage1, small_config
+from repro.parallel import (MIN_PARALLEL_CELLS, ParallelRowSweeper,
+                            WavefrontExecutor, boundary_column, make_sweeper,
+                            plan_strip_cols)
+from repro.service import AlignmentService, JobSpec, JobState
+from repro.service.worker import core_budget
+from repro.storage.sra import SpecialLineStore
+
+from tests.conftest import SCHEMES, make_pair
+
+#: (local, start_gap, forced) — every boundary regime the stages use:
+#: Stage 1 (local), Stage 2/3 goal sweeps (global, forced/unforced, both
+#: incoming gap types).
+REGIMES = [
+    ("local", dict(local=True, start_gap=TYPE_MATCH, forced=False)),
+    ("global", dict(local=False, start_gap=TYPE_MATCH, forced=False)),
+    ("gap-s0", dict(local=False, start_gap=TYPE_GAP_S0, forced=False)),
+    ("gap-s1", dict(local=False, start_gap=TYPE_GAP_S1, forced=False)),
+    ("forced-s0", dict(local=False, start_gap=TYPE_GAP_S0, forced=True)),
+    ("forced-s1", dict(local=False, start_gap=TYPE_GAP_S1, forced=True)),
+]
+
+#: (strip_cols, band_rows) — adversarial tile geometries: single-column
+#: strips, a strip wider than the whole matrix, a width that does not
+#: divide n, and the planner's own choice.
+GEOMETRIES = [(1, 7), (500, 1), (13, 50), (None, None)]
+
+
+def _serial(s0, s1, scheme, regime, **kw):
+    return RowSweeper(s0.codes, s1.codes, scheme, **regime, **kw)
+
+
+def _tiled(s0, s1, scheme, regime, geometry, executor=None, **kw):
+    strip, band = geometry
+    return ParallelRowSweeper(s0.codes, s1.codes, scheme, **regime,
+                              executor=executor, strip_cols=strip,
+                              band_rows=band, **kw)
+
+
+def _assert_identical(serial: RowSweeper, tiled: RowSweeper) -> None:
+    np.testing.assert_array_equal(serial.H, tiled.H)
+    np.testing.assert_array_equal(serial.E, tiled.E)
+    np.testing.assert_array_equal(serial.F, tiled.F)
+    assert serial.best == tiled.best
+    assert serial.best_pos == tiled.best_pos
+    assert serial.watch_hit == tiled.watch_hit
+    assert serial.cells == tiled.cells
+    assert sorted(serial.saved) == sorted(tiled.saved)
+    for row in serial.saved:
+        np.testing.assert_array_equal(serial.saved[row][0], tiled.saved[row][0])
+        np.testing.assert_array_equal(serial.saved[row][1], tiled.saved[row][1])
+    taps_a = getattr(serial, "tap_H", None)
+    taps_b = getattr(tiled, "tap_H", None)
+    assert (taps_a is None) == (taps_b is None)
+    if taps_a is not None:
+        np.testing.assert_array_equal(taps_a, taps_b)
+        np.testing.assert_array_equal(serial.tap_E, tiled.tap_E)
+    state_a, state_b = serial.state_dict(), tiled.state_dict()
+    assert set(state_a) == set(state_b)
+    for key in state_a:
+        np.testing.assert_array_equal(state_a[key], state_b[key])
+
+
+class TestTileGridEquivalence:
+    """Inline (no pool) tile grid vs the serial kernel, cell for cell."""
+
+    @pytest.mark.parametrize("geometry", GEOMETRIES,
+                             ids=["strip1", "strip>n", "ragged", "auto"])
+    @pytest.mark.parametrize("regime", [r[1] for r in REGIMES],
+                             ids=[r[0] for r in REGIMES])
+    def test_bit_identity(self, rng, regime, geometry):
+        s0, s1 = make_pair(rng, 90, 77)
+        scheme = SCHEMES[len(str(geometry)) % len(SCHEMES)]
+        serial = _serial(s0, s1, scheme, regime, track_best=True,
+                         save_rows=np.array([16, 32, 77]),
+                         tap_columns=np.array([len(s1)]))
+        serial.run()
+        watch = serial.best if regime["local"] else None
+        kw = dict(track_best=True, save_rows=np.array([16, 32, 77]),
+                  tap_columns=np.array([len(s1)]))
+        serial = _serial(s0, s1, scheme, regime, watch_value=watch, **kw).run()
+        tiled = _tiled(s0, s1, scheme, regime, geometry,
+                       watch_value=watch, **kw).run()
+        _assert_identical(serial, tiled)
+
+    @pytest.mark.parametrize("scheme", SCHEMES,
+                             ids=["paper", "affine", "flat-gap", "zero-mm"])
+    def test_every_scheme(self, rng, scheme):
+        s0, s1 = make_pair(rng, 64, 51)
+        regime = dict(local=False, start_gap=TYPE_GAP_S0, forced=True)
+        serial = _serial(s0, s1, scheme, regime).run()
+        tiled = _tiled(s0, s1, scheme, regime, (9, 5)).run()
+        _assert_identical(serial, tiled)
+
+    def test_windowed_advance_matches(self, rng):
+        # Stage 1 drives the sweep in block_rows windows; the tile grid
+        # must agree at every window boundary, not just at the end.
+        s0, s1 = make_pair(rng, 96, 80)
+        regime = dict(local=True, start_gap=TYPE_MATCH, forced=False)
+        serial = _serial(s0, s1, PAPER_SCHEME, regime, track_best=True)
+        tiled = _tiled(s0, s1, PAPER_SCHEME, regime, (11, 6), track_best=True)
+        while not serial.done:
+            assert serial.advance(17) == tiled.advance(17)
+            np.testing.assert_array_equal(serial.H, tiled.H)
+            assert serial.best == tiled.best
+        assert tiled.done
+
+    def test_checkpoint_round_trip_across_kernels(self, rng):
+        # A state_dict taken mid-sweep by the tile grid resumes the
+        # *serial* kernel (and vice versa) to the same final state.
+        s0, s1 = make_pair(rng, 90, 70)
+        regime = dict(local=True, start_gap=TYPE_MATCH, forced=False)
+        tiled = _tiled(s0, s1, PAPER_SCHEME, regime, (13, 8), track_best=True)
+        tiled.advance(41)
+        resumed = _serial(s0, s1, PAPER_SCHEME, regime, track_best=True)
+        resumed.load_state(tiled.state_dict())
+        reference = _serial(s0, s1, PAPER_SCHEME, regime,
+                            track_best=True).run()
+        _assert_identical(reference, resumed.run())
+        _assert_identical(reference, tiled.run())
+
+
+class TestPooledExecution:
+    """The same grid scheduled across real worker processes."""
+
+    def test_pooled_sweep_bit_identical(self, rng):
+        s0, s1 = make_pair(rng, 200, 180)
+        serial = _serial(s0, s1, PAPER_SCHEME,
+                         dict(local=True, start_gap=TYPE_MATCH, forced=False),
+                         track_best=True, save_rows=np.array([64, 128]),
+                         tap_columns=np.array([len(s1)])).run()
+        with WavefrontExecutor(2) as executor:
+            pooled = make_sweeper(
+                s0.codes, s1.codes, PAPER_SCHEME, executor=executor,
+                local=True, track_best=True, save_rows=np.array([64, 128]),
+                tap_columns=np.array([len(s1)]))
+            assert isinstance(pooled, ParallelRowSweeper)
+            pooled.run()
+            _assert_identical(serial, pooled)
+
+    def test_full_pipeline_bit_identical(self, rng, tmp_path):
+        s0, s1 = make_pair(rng, 300, 280)
+        serial_cfg = small_config(block_rows=32, n=len(s1), sra_rows=5)
+        wave_cfg = small_config(block_rows=32, n=len(s1), sra_rows=5,
+                                executor="wavefront", workers=2)
+        ref = CUDAlign(serial_cfg, workdir=str(tmp_path / "serial")).run(s0, s1)
+        out = CUDAlign(wave_cfg, workdir=str(tmp_path / "wave")).run(s0, s1)
+        assert out.best_score == ref.best_score
+        assert out.stage1.end_point == ref.stage1.end_point
+        assert out.stage1.special_rows == ref.stage1.special_rows
+        assert out.stage2.crosspoints == ref.stage2.crosspoints
+        assert out.stage3.crosspoints == ref.stage3.crosspoints
+        assert out.stage4.crosspoints == ref.stage4.crosspoints
+        assert out.binary.encode() == ref.binary.encode()
+        assert out.metrics["wavefront.tiles"] > 0
+        assert ref.metrics.get("wavefront.tiles") is None
+
+
+class TestBoundaryColumn:
+    """The closed-form column 0 vs the serial recurrence, all regimes."""
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("start_gap", [TYPE_MATCH, TYPE_GAP_S0,
+                                           TYPE_GAP_S1])
+    @pytest.mark.parametrize("forced", [False, True])
+    def test_matches_recurrence(self, scheme, start_gap, forced):
+        m = 40
+        h = int(NEG_INF) if forced else 0
+        f = 0 if start_gap == TYPE_GAP_S1 else int(NEG_INF)
+        want_H, want_X = [], []
+        for _ in range(m):
+            f = max(f - scheme.gap_ext, h - scheme.gap_first)
+            h = max(f, int(NEG_INF))
+            want_X.append(f)
+            want_H.append(h)
+        left_H, left_E, left_X = boundary_column(
+            m, scheme, local=False, start_gap=start_gap, forced=forced)
+        np.testing.assert_array_equal(left_H, want_H)
+        np.testing.assert_array_equal(left_X, want_X)
+        np.testing.assert_array_equal(left_E, np.asarray(want_X) -
+                                      scheme.gap_open)
+
+    def test_local_is_flat_zero(self):
+        left_H, left_E, left_X = boundary_column(8, PAPER_SCHEME, local=True)
+        np.testing.assert_array_equal(left_H, np.zeros(8))
+        np.testing.assert_array_equal(left_X, np.zeros(8))
+        np.testing.assert_array_equal(left_E, np.full(8, NEG_INF))
+
+    def test_forced_column_floors_instead_of_sinking(self):
+        # Once H clamps at NEG_INF, reopening a gap beats extending the
+        # sunk run: X must floor at NEG_INF - gap_first, not fall forever.
+        _, _, left_X = boundary_column(5000, PAPER_SCHEME, local=False,
+                                       start_gap=TYPE_GAP_S0, forced=True)
+        assert left_X.min() == int(NEG_INF) - PAPER_SCHEME.gap_first
+
+
+class TestSweeperSelection:
+    def test_small_matrix_falls_back_to_serial(self, rng):
+        s0, s1 = make_pair(rng, 40, 40)
+        assert 40 * 40 < MIN_PARALLEL_CELLS
+        with WavefrontExecutor(1) as executor:
+            sweep = make_sweeper(s0.codes, s1.codes, PAPER_SCHEME,
+                                 executor=executor)
+            assert type(sweep) is RowSweeper
+
+    def test_no_executor_falls_back_to_serial(self, rng):
+        s0, s1 = make_pair(rng, 200, 200)
+        sweep = make_sweeper(s0.codes, s1.codes, PAPER_SCHEME, executor=None)
+        assert type(sweep) is RowSweeper
+
+    def test_interior_taps_fall_back_to_serial(self, rng):
+        s0, s1 = make_pair(rng, 200, 200)
+        with WavefrontExecutor(1) as executor:
+            sweep = make_sweeper(s0.codes, s1.codes, PAPER_SCHEME,
+                                 executor=executor,
+                                 tap_columns=np.array([3, 200]))
+            assert type(sweep) is RowSweeper
+
+    def test_parallel_sweeper_rejects_interior_taps(self, rng):
+        s0, s1 = make_pair(rng, 64, 64)
+        with pytest.raises(ConfigError):
+            ParallelRowSweeper(s0.codes, s1.codes, PAPER_SCHEME,
+                               tap_columns=np.array([3]))
+
+    def test_strip_planner_covers_the_matrix(self):
+        for n in (1, 7, 64, 1000):
+            for workers in (1, 2, 8):
+                strip = plan_strip_cols(n, workers)
+                assert 1 <= strip <= n
+
+
+class TestCoreBudget:
+    def test_even_split(self):
+        assert core_budget(8, 2) == 4
+        assert core_budget(8, 1) == 8
+        assert core_budget(4, 3) == 1
+
+    def test_never_below_one(self):
+        assert core_budget(1, 4) == 1
+        assert core_budget(0, 1) == 1
+
+    def test_service_clamps_and_counts(self, tmp_path, rng):
+        from repro.sequences import homologous_pair, write_fasta
+        s0, s1 = homologous_pair(400, rng, names=("a", "b"))
+        p0, p1 = tmp_path / "a.fa", tmp_path / "b.fa"
+        write_fasta(p0, s0)
+        write_fasta(p1, s1)
+        # 2 job slots on a (simulated) 2-core host: a job asking for 4
+        # pipeline workers must be clamped to its 1-core share.
+        service = AlignmentService(tmp_path / "root", workers=2, cpu_count=2)
+        try:
+            service.submit(JobSpec(seq0=str(p0), seq1=str(p1), workers=4,
+                                   block_rows=32, sra_rows=4))
+            summary = service.run()
+        finally:
+            service.close()
+        assert summary["succeeded"] == 1
+        snapshot = service.telemetry.metrics.snapshot()
+        assert snapshot["service.cores_clamped"] == 1
+
+    def test_inline_execute_job_is_uncapped(self, tmp_path, rng):
+        from repro.sequences import homologous_pair, write_fasta
+        from repro.service import execute_job
+        s0, s1 = homologous_pair(300, rng, names=("a", "b"))
+        p0, p1 = tmp_path / "a.fa", tmp_path / "b.fa"
+        write_fasta(p0, s0)
+        write_fasta(p1, s1)
+        spec = JobSpec(seq0=str(p0), seq1=str(p1), workers=2,
+                       block_rows=32, sra_rows=4)
+        summary = execute_job(spec, str(tmp_path / "job"), 1)
+        assert summary["best_score"] > 0
