@@ -1,0 +1,180 @@
+"""Gateway overhead — HTTP rps, time-to-first-event, e2e latency.
+
+Runs a real :class:`~repro.gateway.GatewayRunner` on an ephemeral port
+and measures the front door itself, not the alignments behind it:
+
+* **submit rps** — POST /v1/jobs throughput while the dispatcher is
+  paused (pure validate + journal + 201, no compute in the way);
+* **status rps** — GET /v1/jobs/{id} snapshot throughput;
+* **time-to-first-event** — POST returning to the first SSE byte of
+  that job's stream;
+* **e2e latency** — submit -> result retrieved, for real (tiny) catalog
+  jobs at queue depths 1, 8 and 64.  Distinct seeds per job keep the
+  result cache out of the measurement.
+
+Writes ``benchmarks/out/gateway_throughput.txt`` (the rendered table)
+and ``benchmarks/out/BENCH_gateway.json`` (the raw numbers).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+from repro.gateway import GatewayPolicy, GatewayRunner, ServiceDispatcher
+
+from benchmarks.conftest import OUT_DIR, bench_scale, emit
+
+QUEUE_DEPTHS = (1, 8, 64)
+SUBMIT_COUNT = 200
+STATUS_COUNT = 500
+FIRST_EVENT_SAMPLES = 20
+
+
+def _policy() -> GatewayPolicy:
+    # Admission wide open: this suite measures mechanism, not policy.
+    return GatewayPolicy(max_active_per_tenant=10**6,
+                         rate_per_tenant=10**6, burst_per_tenant=10**6,
+                         max_queue_depth=10**6)
+
+
+def _connect(port: int) -> http.client.HTTPConnection:
+    return http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+
+
+def _request(conn, method: str, path: str, payload=None) -> dict:
+    body = json.dumps(payload).encode() if payload is not None else None
+    conn.request(method, path, body=body,
+                 headers={"Content-Type": "application/json"})
+    response = conn.getresponse()
+    data = response.read()
+    assert response.status in (200, 201), (response.status, data)
+    return json.loads(data)
+
+
+def _bench_submit_rps(port: int, scale: int) -> float:
+    """Paused dispatcher: nothing runs, so this is pure gateway work."""
+    conn = _connect(port)
+    tick = time.monotonic()
+    for index in range(SUBMIT_COUNT):
+        _request(conn, "POST", "/v1/jobs",
+                 {"job_id": f"rps-{index}", "catalog": "162Kx172K",
+                  "scale": scale, "seed": index, "block_rows": 32})
+    elapsed = time.monotonic() - tick
+    conn.close()
+    return SUBMIT_COUNT / elapsed
+
+
+def _bench_status_rps(port: int) -> float:
+    conn = _connect(port)
+    tick = time.monotonic()
+    for index in range(STATUS_COUNT):
+        _request(conn, "GET", f"/v1/jobs/rps-{index % SUBMIT_COUNT}")
+    elapsed = time.monotonic() - tick
+    conn.close()
+    return STATUS_COUNT / elapsed
+
+
+def _bench_first_event(port: int) -> float:
+    """Median submit -> first SSE byte, against already-queued jobs."""
+    samples = []
+    for index in range(FIRST_EVENT_SAMPLES):
+        conn = _connect(port)
+        tick = time.monotonic()
+        conn.request("GET", f"/v1/jobs/rps-{index}/events")
+        response = conn.getresponse()
+        assert response.status == 200
+        response.read(1)               # first byte of the stream
+        samples.append(time.monotonic() - tick)
+        conn.close()
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def _bench_e2e(port: int, depth: int, scale: int, offset: int) -> dict:
+    """Submit ``depth`` distinct jobs at once; wait for every result."""
+    conn = _connect(port)
+    job_ids = []
+    tick = time.monotonic()
+    for index in range(depth):
+        seed = offset + index
+        _request(conn, "POST", "/v1/jobs",
+                 {"job_id": f"e2e-{seed}", "catalog": "162Kx172K",
+                  "scale": scale, "seed": seed, "block_rows": 32})
+        job_ids.append(f"e2e-{seed}")
+    submitted = time.monotonic() - tick
+    pending = set(job_ids)
+    first_done = None
+    while pending:
+        for job_id in sorted(pending):
+            snapshot = _request(conn, "GET", f"/v1/jobs/{job_id}")
+            if snapshot["state"] in ("succeeded", "cached"):
+                body = _request(conn, "GET", f"/v1/jobs/{job_id}/result")
+                assert body["result"]["best_score"] > 0
+                pending.discard(job_id)
+                if first_done is None:
+                    first_done = time.monotonic() - tick
+        if pending:
+            time.sleep(0.01)
+    total = time.monotonic() - tick
+    conn.close()
+    return {"depth": depth, "submit_seconds": submitted,
+            "first_result_seconds": first_done,
+            "total_seconds": total,
+            "jobs_per_second": depth / total}
+
+
+def test_gateway_throughput(tmp_path):
+    scale = bench_scale()
+    dispatcher = ServiceDispatcher(str(tmp_path / "gw"), workers=2,
+                                   poll_seconds=0.005)
+    runner = GatewayRunner(dispatcher, _policy(), port=0).start()
+    try:
+        port = runner.port
+        dispatcher.pause()
+        submit_rps = _bench_submit_rps(port, scale)
+        status_rps = _bench_status_rps(port)
+        first_event = _bench_first_event(port)
+        # Drain the paused backlog before the e2e runs.
+        dispatcher.resume()
+        conn = _connect(port)
+        while True:
+            listing = _request(conn, "GET", "/v1/jobs")
+            if all(j["state"] in ("succeeded", "cached", "failed")
+                   for j in listing["jobs"]):
+                break
+            time.sleep(0.05)
+        conn.close()
+
+        e2e = [_bench_e2e(port, depth, scale, offset=1000 * (i + 1))
+               for i, depth in enumerate(QUEUE_DEPTHS)]
+    finally:
+        runner.stop()
+
+    lines = [
+        f"Gateway overhead — scale 1/{scale}, 2 workers, ephemeral port",
+        "",
+        f"submit rps (paused dispatcher): {submit_rps:>8.0f}",
+        f"status rps:                     {status_rps:>8.0f}",
+        f"time to first SSE event:        {first_event * 1000:>8.2f} ms",
+        "",
+        f"{'depth':>6} {'submit s':>9} {'first s':>8} {'total s':>8} "
+        f"{'jobs/s':>7}",
+    ]
+    for row in e2e:
+        lines.append(f"{row['depth']:>6} {row['submit_seconds']:>9.3f} "
+                     f"{row['first_result_seconds']:>8.3f} "
+                     f"{row['total_seconds']:>8.3f} "
+                     f"{row['jobs_per_second']:>7.2f}")
+    emit("gateway_throughput", lines)
+
+    payload = {
+        "scale": scale,
+        "submit_rps": submit_rps,
+        "status_rps": status_rps,
+        "time_to_first_event_seconds": first_event,
+        "e2e": e2e,
+    }
+    (OUT_DIR / "BENCH_gateway.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")

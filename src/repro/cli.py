@@ -10,7 +10,10 @@
 * ``cudalign synth`` — generate a synthetic pair as FASTA files;
 * ``cudalign batch jobs.json --root DIR`` — run a file of alignment jobs
   through the job service (queue, worker pool, result cache, retries);
-* ``cudalign jobs --root DIR`` — inspect a service root's queue journal;
+* ``cudalign jobs --root DIR`` — inspect a service root's queue journal
+  (``jobs cancel JOB_ID`` journals a cancellation);
+* ``cudalign serve --root DIR`` — the HTTP gateway: job submission,
+  server-sent-event progress streams, per-tenant quotas, backpressure;
 * ``cudalign fsck DIR`` — verify every checksummed artifact under a run
   or service directory, optionally quarantining/repairing damage.
 """
@@ -201,9 +204,29 @@ def cmd_jobs(args: argparse.Namespace) -> int:
     import os
 
     from repro.report import render_jobs_table
-    from repro.service import JOURNAL_NAME, replay_journal
+    from repro.service import JOURNAL_NAME, JobQueue, replay_journal
 
     journal = os.path.join(args.root, JOURNAL_NAME)
+    if args.action == "cancel":
+        if not args.job_id:
+            print("error: `jobs cancel` needs a job id", file=sys.stderr)
+            return 2
+        queue = JobQueue.recover(journal)
+        if len(queue) == 0:
+            print(f"no journal at {journal}", file=sys.stderr)
+            return 1
+        record = queue.find(args.job_id)
+        if record is None:
+            print(f"error: unknown job {args.job_id!r}", file=sys.stderr)
+            return 2
+        if record.done:
+            print(f"error: job {args.job_id!r} is already {record.state}",
+                  file=sys.stderr)
+            return 1
+        queue.mark_cancelled(record, reason="cancelled via CLI")
+        print(f"cancelled {args.job_id} (journaled; a live gateway is "
+              f"cancelled through DELETE /v1/jobs/{args.job_id})")
+        return 0
     records, events, corrupt = replay_journal(journal)
     if not events:
         print(f"no journal at {journal}", file=sys.stderr)
@@ -212,6 +235,51 @@ def cmd_jobs(args: argparse.Namespace) -> int:
     if corrupt:
         print(f"warning: {corrupt} corrupt journal record(s) skipped "
               f"(run `fsck {args.root}` for details)", file=sys.stderr)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.gateway import Gateway, GatewayPolicy, ServiceDispatcher
+    from repro.gateway import serve as serve_gateway
+    from repro.telemetry import JsonLinesSink
+
+    trace_sink = JsonLinesSink(args.trace) if args.trace else None
+    sinks = (trace_sink,) if trace_sink is not None else ()
+    dispatcher = ServiceDispatcher(args.root, workers=args.workers,
+                                   resume=args.resume, sinks=sinks)
+    policy = GatewayPolicy(
+        max_active_per_tenant=args.tenant_max_active,
+        rate_per_tenant=args.tenant_rate,
+        burst_per_tenant=args.tenant_burst,
+        max_queue_depth=args.max_queue_depth)
+    gateway = Gateway(dispatcher, policy, host=args.host, port=args.port,
+                      max_body=args.max_body)
+
+    def on_start(gw: Gateway) -> None:
+        print(f"gateway listening on http://{gw.host}:{gw.port} "
+              f"(root: {args.root}, workers: {args.workers})", flush=True)
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{gw.port}\n")
+
+    async def _main() -> None:
+        shutdown = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, shutdown.set)
+        await serve_gateway(gateway, shutdown, on_start)
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        pass
+    finally:
+        dispatcher.close()
+    print("gateway stopped; journal + cache live under "
+          f"{args.root} (resume with `serve --resume`)")
     return 0
 
 
@@ -343,8 +411,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_jobs = sub.add_parser(
         "jobs", help="inspect a service root's queue journal")
+    p_jobs.add_argument("action", nargs="?", default="list",
+                        choices=("list", "cancel"),
+                        help="'list' (default) renders the journal; "
+                             "'cancel JOB_ID' journals a cancellation of "
+                             "a pending job")
+    p_jobs.add_argument("job_id", nargs="?", default=None,
+                        help="job id for 'cancel'")
     p_jobs.add_argument("--root", required=True)
     p_jobs.set_defaults(func=cmd_jobs)
+
+    p_serve = sub.add_parser(
+        "serve", help="HTTP gateway: submission, SSE progress, quotas")
+    p_serve.add_argument("--root", required=True,
+                         help="service root (journal, cache, per-job "
+                              "workdirs); a 201 submission survives a "
+                              "gateway kill via the journal")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8650,
+                         help="listen port (0 picks an ephemeral one)")
+    p_serve.add_argument("--port-file", default=None, metavar="FILE",
+                         help="write the bound port here once listening "
+                              "(for scripts using --port 0)")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="concurrent alignment worker processes")
+    p_serve.add_argument("--resume", action="store_true",
+                         help="recover the root's journal before serving")
+    p_serve.add_argument("--max-body", type=int, default=1 << 20,
+                         help="request body byte limit (413 beyond it)")
+    p_serve.add_argument("--tenant-max-active", type=int, default=8,
+                         help="per-tenant concurrent (non-terminal) job "
+                              "quota")
+    p_serve.add_argument("--tenant-rate", type=float, default=50.0,
+                         help="per-tenant sustained submissions/sec")
+    p_serve.add_argument("--tenant-burst", type=float, default=20.0,
+                         help="per-tenant submission burst size")
+    p_serve.add_argument("--max-queue-depth", type=int, default=256,
+                         help="global pending-job ceiling (429 beyond it)")
+    p_serve.add_argument("--trace", default=None, metavar="FILE",
+                         help="write a JSON-lines service trace here")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_fsck = sub.add_parser(
         "fsck", help="verify every checksummed artifact under a directory")

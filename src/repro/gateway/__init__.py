@@ -1,0 +1,42 @@
+"""The alignment service's network front door (pure-stdlib asyncio).
+
+``repro.gateway`` puts an HTTP/1.1 API in front of
+:class:`~repro.service.AlignmentService`: job submission validated by
+the same schema as ``repro batch`` spec files, status snapshots,
+server-sent-event progress streams fed from the service's telemetry,
+checksummed result retrieval, cancellation, and multi-tenant admission
+control (token-bucket rates, concurrency quotas, queue-depth
+backpressure with 429 + Retry-After).
+
+Quick use::
+
+    from repro.gateway import GatewayPolicy, GatewayRunner, ServiceDispatcher
+
+    dispatcher = ServiceDispatcher("runs/gateway", workers=4)
+    runner = GatewayRunner(dispatcher, GatewayPolicy(), port=8650).start()
+    ...                      # POST http://127.0.0.1:8650/v1/jobs
+    runner.stop()
+
+On the command line: ``repro serve --root runs/gateway --port 8650``
+(``--resume`` recovers the journal of a killed gateway — no accepted
+job is lost).
+"""
+
+from repro.gateway.dispatcher import ServiceDispatcher
+from repro.gateway.events import SERVICE_STREAM, EventBroker
+from repro.gateway.http import (DEFAULT_MAX_BODY, HttpError, Request,
+                                Response, SseStream, read_request)
+from repro.gateway.policy import (DEFAULT_TENANT, PRIORITY_CLASSES,
+                                  Admission, GatewayPolicy, TokenBucket,
+                                  map_priority_class)
+from repro.gateway.server import Gateway, GatewayRunner, serve
+
+__all__ = [
+    "Gateway", "GatewayRunner", "serve",
+    "ServiceDispatcher",
+    "GatewayPolicy", "TokenBucket", "Admission",
+    "PRIORITY_CLASSES", "DEFAULT_TENANT", "map_priority_class",
+    "EventBroker", "SERVICE_STREAM",
+    "HttpError", "Request", "Response", "SseStream", "read_request",
+    "DEFAULT_MAX_BODY",
+]

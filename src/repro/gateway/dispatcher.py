@@ -1,0 +1,250 @@
+"""The bridge between the asyncio front door and the synchronous service.
+
+:class:`AlignmentService` is deliberately synchronous — its queue,
+worker pool and journal are plain blocking code — so the gateway drives
+it from one background *pump thread* that repeatedly calls
+``service.step()`` (dispatch + poll + settle).  Every touch of the
+service goes through one lock; request handlers only ever hold it for
+microsecond-scale operations (submit a spec, snapshot a record), so the
+event loop never blocks on an alignment.
+
+The pump also turns state into events: after each round it diffs job
+states against the last round and publishes lifecycle events
+(``queued``/``running``/``retrying``/``succeeded``/``cached``/
+``failed``/``cancelled``) to the :class:`~repro.gateway.events.EventBroker`,
+and drains the service's :class:`~repro.telemetry.QueueSink` —
+``service.job`` span completions land on the owning job's stream, and a
+throttled metrics snapshot lands on the service-wide stream.
+
+Kill-and-restart safety comes for free from the service: every accepted
+submission is journaled before the HTTP 201 goes out, so a gateway
+started with ``resume=True`` replays the journal and finishes what an
+earlier process accepted.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.gateway.events import SERVICE_STREAM, EventBroker
+from repro.service.job import JobRecord, JobSpec, JobState
+from repro.service.service import AlignmentService
+from repro.telemetry.sinks import QueueSink
+
+#: Lifecycle event name per (previous state -> new state) edge; states
+#: not listed fall back to the new state's name.
+_FINAL_STATES = frozenset({JobState.SUCCEEDED, JobState.CACHED,
+                           JobState.FAILED, JobState.CANCELLED})
+
+#: Result-summary keys worth carrying in terminal events (the full
+#: payload stays behind GET /v1/jobs/{id}/result).
+_EVENT_RESULT_KEYS = ("best_score", "alignment_length", "wall_seconds",
+                      "resumed_from_row")
+
+
+class ServiceDispatcher:
+    """Owns an :class:`AlignmentService` and pumps it from a thread."""
+
+    def __init__(self, root: str, *, workers: int = 1, resume: bool = False,
+                 poll_seconds: float = 0.02, metrics_interval: float = 1.0,
+                 sinks: tuple = (), cpu_count: int | None = None):
+        self.sink = QueueSink()
+        self.service = AlignmentService(
+            root, workers=workers, resume=resume,
+            sinks=(self.sink,) + tuple(sinks), cpu_count=cpu_count)
+        self.broker = EventBroker()
+        self.poll_seconds = poll_seconds
+        self.metrics_interval = metrics_interval
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._states: dict[str, str] = {}
+        self._tenants: dict[str, str] = {}
+        self._paused = False
+        self._last_metrics = 0.0
+        # Jobs recovered from the journal predate this process: seed the
+        # state map (emitting their current state as the first event
+        # keeps late SSE subscribers coherent).
+        for record in self.service.queue.records():
+            self._states[record.job_id] = record.state
+            self.broker.publish(record.job_id, self._event_name(record),
+                                self._event_data(record),
+                                final=record.state in _FINAL_STATES)
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._pump,
+                                        name="repro-gateway-pump",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def close(self) -> None:
+        self.stop()
+        with self._lock:
+            self.service.write_manifest()
+            self.service.close()
+
+    def pause(self) -> None:
+        """Suspend dispatching (tests use this to pin jobs in PENDING;
+        submissions and cancellations still work)."""
+        self._paused = True
+
+    def resume(self) -> None:
+        self._paused = False
+
+    # ------------------------------------------------------------- actions
+    def submit(self, spec: JobSpec, tenant: str) -> dict[str, Any]:
+        """Thread-safe submission; journaled before this returns."""
+        with self._lock:
+            record = self.service.submit(spec)
+            self._tenants[record.job_id] = tenant
+            self._states[record.job_id] = record.state
+            snapshot = self._snapshot_locked(record)
+        self.broker.publish(record.job_id, "queued",
+                            {"tenant": tenant, "state": record.state,
+                             "priority": spec.priority})
+        return snapshot
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel via the service; ``False`` when already terminal."""
+        with self._lock:
+            cancelled = self.service.cancel(job_id)
+            events = self._sync_locked() if cancelled else []
+        self._publish(events)
+        return cancelled
+
+    # --------------------------------------------------------------- views
+    def snapshot(self, job_id: str) -> dict[str, Any] | None:
+        with self._lock:
+            record = self.service.queue.find(job_id)
+            if record is None:
+                return None
+            return self._snapshot_locked(record)
+
+    def jobs(self, tenant: str | None = None) -> list[dict[str, Any]]:
+        with self._lock:
+            records = self.service.queue.records()
+            return [self._snapshot_locked(r) for r in records
+                    if tenant is None
+                    or self._tenants.get(r.job_id) == tenant]
+
+    def tenant_active(self, tenant: str) -> int:
+        """Non-terminal jobs currently owned by ``tenant``."""
+        with self._lock:
+            return sum(1 for r in self.service.queue.records()
+                       if not r.done
+                       and self._tenants.get(r.job_id) == tenant)
+
+    def tenant_of(self, job_id: str) -> str | None:
+        with self._lock:
+            return self._tenants.get(job_id)
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self.service.queue.depth
+
+    def metrics(self) -> dict[str, Any]:
+        with self._lock:
+            return dict(self.service.telemetry.metrics.snapshot())
+
+    def health(self) -> dict[str, Any]:
+        with self._lock:
+            queue = self.service.queue
+            return {
+                "status": "ok",
+                "jobs": len(queue),
+                "queue_depth": queue.depth,
+                "in_flight": self.service.pool.in_flight,
+                "workers": self.service.pool.workers,
+                "paused": self._paused,
+            }
+
+    # ------------------------------------------------------------ internals
+    def _snapshot_locked(self, record: JobRecord) -> dict[str, Any]:
+        snapshot = record.to_json()
+        snapshot["tenant"] = self._tenants.get(record.job_id)
+        return snapshot
+
+    @staticmethod
+    def _event_name(record: JobRecord) -> str:
+        if record.state == JobState.PENDING:
+            return "retrying" if record.failures else "queued"
+        return record.state    # running/succeeded/cached/failed/cancelled
+
+    @staticmethod
+    def _event_data(record: JobRecord) -> dict[str, Any]:
+        data: dict[str, Any] = {"state": record.state,
+                                "attempts": record.attempts,
+                                "failures": record.failures}
+        if record.error:
+            data["error"] = record.error
+        if record.result:
+            data["result"] = {k: record.result[k]
+                              for k in _EVENT_RESULT_KEYS
+                              if k in record.result}
+        if record.cache_hit:
+            data["cache_hit"] = True
+        return data
+
+    def _sync_locked(self) -> list[tuple[str, str, dict[str, Any], bool]]:
+        """Diff job states against the last round (lock held); returns
+        the events to publish after the lock is released."""
+        events = []
+        for record in self.service.queue.records():
+            previous = self._states.get(record.job_id)
+            if record.state == previous:
+                continue
+            self._states[record.job_id] = record.state
+            events.append((record.job_id, self._event_name(record),
+                           self._event_data(record),
+                           record.state in _FINAL_STATES))
+        return events
+
+    def _publish(self, events) -> None:
+        for job_id, name, data, final in events:
+            self.broker.publish(job_id, name, data, final=final)
+            if final:
+                self.broker.publish(SERVICE_STREAM, "job_finished",
+                                    {"job_id": job_id, "event": name})
+
+    def _relay_telemetry(self, drained: list[dict[str, Any]]) -> None:
+        """Spans with a job_id reach that job's stream; a throttled
+        metrics snapshot reaches the service stream."""
+        saw_metric = False
+        for record in drained:
+            if record.get("type") == "span":
+                job_id = (record.get("attributes") or {}).get("job_id")
+                if job_id:
+                    self.broker.publish(str(job_id), "span", record)
+            else:
+                saw_metric = True
+        now = time.monotonic()
+        if saw_metric and now - self._last_metrics >= self.metrics_interval:
+            self._last_metrics = now
+            self.broker.publish(SERVICE_STREAM, "metrics", self.metrics())
+
+    def _pump(self) -> None:
+        while not self._stop.is_set():
+            events = []
+            with self._lock:
+                if not self._paused:
+                    try:
+                        self.service.step()
+                    except ConfigError:  # pragma: no cover - defensive
+                        pass
+                    events = self._sync_locked()
+            self._publish(events)
+            self._relay_telemetry(self.sink.drain())
+            self._stop.wait(self.poll_seconds)

@@ -1,0 +1,95 @@
+"""Event broker: the thread-to-asyncio bridge behind SSE streams.
+
+The dispatcher's pump thread publishes job lifecycle events (and the
+telemetry records drained from the service's
+:class:`~repro.telemetry.QueueSink`); asyncio handlers subscribe per
+job — or to the service-wide stream — and receive a bounded backlog
+plus live events through an :class:`asyncio.Queue` fed with
+``loop.call_soon_threadsafe``.
+
+Every event is a plain JSON-safe dict::
+
+    {"seq": 17, "stream": "<job_id>|service", "event": "running",
+     "time": 1699.0, "data": {...}, "final": false}
+
+``final`` marks a terminal lifecycle event; SSE handlers close the
+stream after relaying it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from typing import Any
+
+#: Key of the service-wide stream (metrics, span completions).
+SERVICE_STREAM = "service"
+
+#: Backlog bound per stream; late subscribers replay at most this many.
+MAX_HISTORY = 512
+
+
+class EventBroker:
+    """Publish from any thread; subscribe from the event loop."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self._history: dict[str, list[dict[str, Any]]] = {}
+        self._subscribers: dict[
+            str, list[tuple[asyncio.AbstractEventLoop,
+                            "asyncio.Queue[dict[str, Any]]"]]] = {}
+
+    # ------------------------------------------------------------ publish
+    def publish(self, stream: str, event: str, data: Any = None, *,
+                final: bool = False) -> dict[str, Any]:
+        """Append one event to ``stream`` and wake its subscribers.
+
+        Thread-safe; called from the dispatcher pump thread and from
+        request handlers alike.
+        """
+        record = {"seq": next(self._seq), "stream": stream, "event": event,
+                  "time": time.time(), "data": data, "final": final}
+        with self._lock:
+            history = self._history.setdefault(stream, [])
+            history.append(record)
+            del history[:-MAX_HISTORY]
+            targets = list(self._subscribers.get(stream, ()))
+        for loop, queue in targets:
+            try:
+                loop.call_soon_threadsafe(queue.put_nowait, record)
+            except RuntimeError:    # loop already closed mid-shutdown
+                pass
+        return record
+
+    # ---------------------------------------------------------- subscribe
+    def subscribe(self, stream: str
+                  ) -> tuple[list[dict[str, Any]],
+                             "asyncio.Queue[dict[str, Any]]"]:
+        """Join ``stream`` from the running event loop.
+
+        Returns the backlog so far (oldest first) and the live queue;
+        events published after this call appear only on the queue, so a
+        consumer that relays backlog-then-queue sees every event exactly
+        once, in ``seq`` order.
+        """
+        loop = asyncio.get_running_loop()
+        queue: "asyncio.Queue[dict[str, Any]]" = asyncio.Queue()
+        with self._lock:
+            backlog = list(self._history.get(stream, ()))
+            self._subscribers.setdefault(stream, []).append((loop, queue))
+        return backlog, queue
+
+    def unsubscribe(self, stream: str,
+                    queue: "asyncio.Queue[dict[str, Any]]") -> None:
+        with self._lock:
+            subs = self._subscribers.get(stream, [])
+            self._subscribers[stream] = [
+                (loop, q) for loop, q in subs if q is not queue]
+
+    # -------------------------------------------------------------- views
+    def history(self, stream: str) -> list[dict[str, Any]]:
+        with self._lock:
+            return list(self._history.get(stream, ()))

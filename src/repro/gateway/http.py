@@ -1,0 +1,207 @@
+"""Minimal HTTP/1.1 plumbing over asyncio streams (pure stdlib).
+
+Just enough protocol for the gateway: request parsing with hard limits
+(request-line length, header count/size, body size), JSON response
+helpers, and a server-sent-events writer.  Anything outside the strict
+subset — bad framing, oversized anything, unsupported transfer codings —
+is rejected with a typed :class:`HttpError` that maps onto a 4xx
+response, never an exception escaping into the connection handler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qs, unquote, urlsplit
+
+#: Protocol limits (bytes / counts); the body cap is per-gateway.
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_BYTES = 16384
+MAX_HEADERS = 64
+DEFAULT_MAX_BODY = 1 << 20
+
+_REASONS = {
+    200: "OK", 201: "Created", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 403: "Forbidden", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout", 409: "Conflict",
+    410: "Gone", 413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request the gateway refuses; becomes a JSON error response."""
+
+    def __init__(self, status: int, message: str,
+                 headers: dict[str, str] | None = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+
+
+@dataclass
+class Request:
+    """One parsed request."""
+
+    method: str
+    path: str                       # decoded path, no query string
+    query: dict[str, str]           # first value per key
+    headers: dict[str, str]         # lower-cased names
+    body: bytes = b""
+    keep_alive: bool = True
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    def json(self) -> Any:
+        """Decode the body as JSON (400 on failure)."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"malformed JSON body: {exc}") from exc
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       max_body: int = DEFAULT_MAX_BODY) -> Request | None:
+    """Parse one request off the stream; ``None`` on a clean EOF.
+
+    Raises :class:`HttpError` for protocol violations — the caller sends
+    the error response and closes the connection.
+    """
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None            # clean close between requests
+        raise HttpError(400, "truncated request line") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(400, "request line too long") from exc
+    if len(line) > MAX_REQUEST_LINE:
+        raise HttpError(400, "request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise HttpError(400, "malformed request line")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+
+    headers: dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        try:
+            raw = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError) as exc:
+            raise HttpError(400, "truncated headers") from exc
+        if raw in (b"\r\n", b"\n"):
+            break
+        header_bytes += len(raw)
+        if header_bytes > MAX_HEADER_BYTES or len(headers) >= MAX_HEADERS:
+            raise HttpError(400, "headers too large")
+        text = raw.decode("latin-1").rstrip("\r\n")
+        name, sep, value = text.partition(":")
+        if not sep or not name.strip():
+            raise HttpError(400, f"malformed header line {text!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if headers.get("transfer-encoding"):
+        raise HttpError(501, "chunked transfer encoding not supported")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpError(400, "bad Content-Length") from exc
+        if length < 0:
+            raise HttpError(400, "bad Content-Length")
+        if length > max_body:
+            raise HttpError(413, f"body exceeds {max_body} byte limit")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "truncated body") from exc
+
+    split = urlsplit(target)
+    query = {key: values[0]
+             for key, values in parse_qs(split.query).items()}
+    connection = headers.get("connection", "").lower()
+    keep_alive = (version == "HTTP/1.1" and connection != "close") or \
+                 (version == "HTTP/1.0" and connection == "keep-alive")
+    return Request(method=method.upper(), path=unquote(split.path),
+                   query=query, headers=headers, body=body,
+                   keep_alive=keep_alive)
+
+
+@dataclass
+class Response:
+    """One response to serialize; JSON bodies via :meth:`json`."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(cls, payload: Any, status: int = 200,
+             headers: dict[str, str] | None = None) -> "Response":
+        body = json.dumps(payload, indent=2, sort_keys=True,
+                          default=str).encode("utf-8") + b"\n"
+        return cls(status=status, body=body, headers=headers or {})
+
+    @classmethod
+    def error(cls, status: int, message: str,
+              headers: dict[str, str] | None = None) -> "Response":
+        return cls.json({"error": message, "status": status},
+                        status=status, headers=headers)
+
+    def encode(self, keep_alive: bool = True) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {reason}",
+                 f"Content-Type: {self.content_type}",
+                 f"Content-Length: {len(self.body)}",
+                 f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+        lines += [f"{name}: {value}" for name, value in self.headers.items()]
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+
+class SseStream:
+    """Server-sent events over one response (RFC-less but standard).
+
+    Usage: ``await start()`` once, then ``await send(event, data)`` per
+    event.  The connection is dedicated to the stream — SSE responses
+    have no Content-Length, so the server closes the socket to end them.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+
+    async def start(self, extra_headers: dict[str, str] | None = None
+                    ) -> None:
+        lines = ["HTTP/1.1 200 OK",
+                 "Content-Type: text/event-stream",
+                 "Cache-Control: no-store",
+                 "Connection: close"]
+        lines += [f"{k}: {v}" for k, v in (extra_headers or {}).items()]
+        self.writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        await self.writer.drain()
+
+    async def send(self, event: str, data: Any, *,
+                   event_id: int | None = None) -> None:
+        chunk = ""
+        if event_id is not None:
+            chunk += f"id: {event_id}\n"
+        chunk += f"event: {event}\n"
+        payload = json.dumps(data, sort_keys=True, default=str)
+        chunk += f"data: {payload}\n\n"
+        self.writer.write(chunk.encode("utf-8"))
+        await self.writer.drain()
+
+    async def comment(self, text: str = "keep-alive") -> None:
+        """A heartbeat line clients ignore (keeps proxies from timing out)."""
+        self.writer.write(f": {text}\n\n".encode("utf-8"))
+        await self.writer.drain()

@@ -1,0 +1,169 @@
+"""Multi-tenant admission policy: quotas, rate limits, backpressure.
+
+Pure decision logic, no I/O and an injectable clock, so every rule is
+unit-testable without a server.  The gateway consults
+:meth:`GatewayPolicy.admit` once per submission; a refusal carries the
+HTTP status (always 429 here) and a ``Retry-After`` hint computed from
+the limiting resource — token-bucket refill time for rate limits, a
+queue-drain estimate for depth backpressure.
+
+Priority classes map client-facing names onto the numeric
+``JobSpec.priority`` scale (higher runs first): ``interactive`` >
+``normal`` > ``batch``.  A numeric ``priority`` in the submission wins
+over the class mapping — power users keep the full scale.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigError
+
+#: Client-facing priority classes -> JobSpec.priority.
+PRIORITY_CLASSES = {"batch": 0, "normal": 10, "interactive": 20}
+
+#: Tenant id used when the X-Repro-Tenant header is absent.
+DEFAULT_TENANT = "anonymous"
+
+
+def map_priority_class(name: str) -> int:
+    """Numeric priority for a class name (ConfigError on unknown)."""
+    try:
+        return PRIORITY_CLASSES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown priority class {name!r}; expected one of "
+            f"{sorted(PRIORITY_CLASSES)}") from None
+
+
+@dataclass
+class Admission:
+    """The outcome of one admission check."""
+
+    allowed: bool
+    reason: str = ""
+    retry_after: float = 0.0       # seconds (rounded up into the header)
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/sec, ``burst`` capacity."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate <= 0 or burst <= 0:
+            raise ConfigError("token bucket rate and burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    def take(self) -> float:
+        """Consume one token; returns 0.0 on success, else the seconds
+        until one becomes available (and consumes nothing)."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+@dataclass
+class TenantState:
+    """Per-tenant book-keeping the policy accumulates."""
+
+    bucket: TokenBucket
+    submitted: int = 0
+    rejected: int = 0
+
+
+@dataclass
+class GatewayPolicy:
+    """Admission rules for one gateway instance.
+
+    Args:
+        max_active_per_tenant: concurrent non-terminal jobs one tenant
+            may hold (pending + running); the per-tenant concurrency
+            quota.
+        rate_per_tenant: sustained submissions/sec per tenant.
+        burst_per_tenant: token-bucket burst size.
+        max_queue_depth: global pending-job ceiling — the explicit
+            backpressure valve; beyond it every tenant gets 429.
+        drain_seconds_per_job: Retry-After scale for depth backpressure
+            (a rough time-per-job estimate; the header is a hint, not a
+            promise).
+        clock: injectable monotonic clock for tests.
+    """
+
+    max_active_per_tenant: int = 8
+    rate_per_tenant: float = 50.0
+    burst_per_tenant: float = 20.0
+    max_queue_depth: int = 256
+    drain_seconds_per_job: float = 1.0
+    clock: Callable[[], float] = time.monotonic
+    tenants: dict[str, TenantState] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_active_per_tenant < 1:
+            raise ConfigError("max_active_per_tenant must be positive")
+        if self.max_queue_depth < 1:
+            raise ConfigError("max_queue_depth must be positive")
+
+    def _tenant(self, tenant: str) -> TenantState:
+        state = self.tenants.get(tenant)
+        if state is None:
+            state = TenantState(TokenBucket(
+                self.rate_per_tenant, self.burst_per_tenant, self.clock))
+            self.tenants[tenant] = state
+        return state
+
+    def admit(self, tenant: str, *, tenant_active: int,
+              queue_depth: int) -> Admission:
+        """May ``tenant`` submit one more job right now?
+
+        ``tenant_active`` is the tenant's current non-terminal job count
+        and ``queue_depth`` the service-wide pending count — the caller
+        (the gateway) owns those observations; the policy owns the rules.
+        """
+        state = self._tenant(tenant)
+        if queue_depth >= self.max_queue_depth:
+            state.rejected += 1
+            return Admission(
+                False,
+                f"queue depth {queue_depth} at capacity "
+                f"({self.max_queue_depth})",
+                retry_after=max(1.0, (queue_depth - self.max_queue_depth + 1)
+                                * self.drain_seconds_per_job))
+        if tenant_active >= self.max_active_per_tenant:
+            state.rejected += 1
+            return Admission(
+                False,
+                f"tenant {tenant!r} has {tenant_active} active jobs "
+                f"(limit {self.max_active_per_tenant})",
+                retry_after=self.drain_seconds_per_job)
+        wait = state.bucket.take()
+        if wait > 0:
+            state.rejected += 1
+            return Admission(
+                False,
+                f"tenant {tenant!r} over submission rate "
+                f"({self.rate_per_tenant}/s)",
+                retry_after=wait)
+        state.submitted += 1
+        return Admission(True)
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        return {tenant: {"submitted": state.submitted,
+                         "rejected": state.rejected}
+                for tenant, state in sorted(self.tenants.items())}

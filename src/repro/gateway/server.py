@@ -1,0 +1,397 @@
+"""``repro.gateway``'s front door: the asyncio HTTP server.
+
+Endpoints (all JSON unless noted):
+
+====== ============================ ===========================================
+Method Path                         Purpose
+====== ============================ ===========================================
+POST   /v1/jobs                     submit one JobSpec payload -> 201
+GET    /v1/jobs                     list jobs (``?tenant=`` filters)
+GET    /v1/jobs/{id}                job status snapshot
+GET    /v1/jobs/{id}/events         server-sent events progress stream
+GET    /v1/jobs/{id}/result         final result (checksummed, see below)
+DELETE /v1/jobs/{id}                cancel (running attempts terminated)
+GET    /v1/healthz                  liveness + queue gauges
+GET    /v1/metrics                  service metrics snapshot
+====== ============================ ===========================================
+
+Tenancy is declared per request with the ``X-Repro-Tenant`` header
+(``anonymous`` when absent).  Submissions pass the
+:class:`~repro.gateway.policy.GatewayPolicy` gate — token-bucket rate,
+per-tenant concurrency, global queue depth — and a refusal is an HTTP
+429 whose ``Retry-After`` header says when to try again.  A submission
+accepted with 201 is already journaled: kill the gateway and a restart
+with ``--resume`` finishes the job.
+
+``/result`` responses carry an ``X-Repro-Digest`` header — the SHA-256
+of the exact response body — so clients can verify the payload they
+received end to end (the artifacts behind it are themselves checksummed
+on disk by the integrity layer).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import math
+import threading
+from typing import Any, Callable
+
+from repro.errors import ConfigError
+from repro.gateway.dispatcher import ServiceDispatcher
+from repro.gateway.events import SERVICE_STREAM
+from repro.gateway.http import (DEFAULT_MAX_BODY, HttpError, Request,
+                                Response, SseStream, read_request)
+from repro.gateway.policy import (DEFAULT_TENANT, GatewayPolicy,
+                                  map_priority_class)
+from repro.service.job import JobState
+from repro.service.specfile import spec_from_payload
+
+#: Seconds between SSE heartbeat comments on an idle stream.
+SSE_HEARTBEAT_SECONDS = 15.0
+
+
+class Gateway:
+    """One HTTP front door over one :class:`ServiceDispatcher`."""
+
+    def __init__(self, dispatcher: ServiceDispatcher,
+                 policy: GatewayPolicy | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_body: int = DEFAULT_MAX_BODY):
+        self.dispatcher = dispatcher
+        self.policy = policy if policy is not None else GatewayPolicy()
+        self.host = host
+        self.requested_port = port
+        self.max_body = max_body
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+
+    # ----------------------------------------------------------- lifecycle
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        if self._server is None:
+            return self.requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self.dispatcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.requested_port)
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):   # idle keep-alives linger
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections,
+                                 return_exceptions=True)
+            self._connections.clear()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ---------------------------------------------------------- connection
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader, self.max_body)
+                except HttpError as exc:
+                    writer.write(Response.error(
+                        exc.status, exc.message,
+                        headers=exc.headers).encode(keep_alive=False))
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                route = self._route(request.path)
+                if request.method == "GET" and route is not None \
+                        and route[0] == "events":
+                    await self._serve_events(request, writer)
+                    return          # SSE owns the connection to its end
+                response = self._dispatch(request)
+                writer.write(response.encode(keep_alive=request.keep_alive))
+                await writer.drain()
+                if not request.keep_alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass                    # client went away; nothing to answer
+        except asyncio.CancelledError:
+            pass                    # gateway stopping; close out quietly
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------- routing
+    @staticmethod
+    def _route(path: str) -> tuple[str, str | None] | None:
+        """Map a path to (route name, job_id or None); None = no route."""
+        parts = [p for p in path.split("/") if p]
+        if not parts or parts[0] != "v1":
+            return None
+        if parts[1:] == ["healthz"]:
+            return ("healthz", None)
+        if parts[1:] == ["metrics"]:
+            return ("metrics", None)
+        if parts[1:] == ["events"]:
+            return ("events", SERVICE_STREAM)
+        if len(parts) >= 2 and parts[1] == "jobs":
+            if len(parts) == 2:
+                return ("jobs", None)
+            if len(parts) == 3:
+                return ("job", parts[2])
+            if len(parts) == 4 and parts[3] == "events":
+                return ("events", parts[2])
+            if len(parts) == 4 and parts[3] == "result":
+                return ("result", parts[2])
+        return None
+
+    def _dispatch(self, request: Request) -> Response:
+        route = self._route(request.path)
+        if route is None:
+            return Response.error(404, f"no route for {request.path!r}")
+        name, job_id = route
+        handlers: dict[tuple[str, str],
+                       Callable[[Request, str | None], Response]] = {
+            ("healthz", "GET"): self._get_healthz,
+            ("metrics", "GET"): self._get_metrics,
+            ("jobs", "GET"): self._list_jobs,
+            ("jobs", "POST"): self._post_job,
+            ("job", "GET"): self._get_job,
+            ("job", "DELETE"): self._delete_job,
+            ("result", "GET"): self._get_result,
+        }
+        handler = handlers.get((name, request.method))
+        if handler is None:
+            return Response.error(
+                405, f"{request.method} not allowed on {request.path!r}")
+        try:
+            return handler(request, job_id)
+        except HttpError as exc:
+            return Response.error(exc.status, exc.message,
+                                  headers=exc.headers)
+        except ConfigError as exc:
+            return Response.error(400, str(exc))
+        except Exception as exc:    # never leak a traceback as a hang
+            return Response.error(500, f"{type(exc).__name__}: {exc}")
+
+    # ------------------------------------------------------------ handlers
+    @staticmethod
+    def _tenant(request: Request) -> str:
+        return request.header("x-repro-tenant", DEFAULT_TENANT) \
+            or DEFAULT_TENANT
+
+    def _get_healthz(self, request: Request, job_id: str | None) -> Response:
+        return Response.json(self.dispatcher.health())
+
+    def _get_metrics(self, request: Request, job_id: str | None) -> Response:
+        return Response.json({"metrics": self.dispatcher.metrics(),
+                              "tenants": self.policy.stats()})
+
+    def _list_jobs(self, request: Request, job_id: str | None) -> Response:
+        tenant = request.query.get("tenant")
+        return Response.json({"jobs": self.dispatcher.jobs(tenant)})
+
+    def _post_job(self, request: Request, job_id: str | None) -> Response:
+        tenant = self._tenant(request)
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HttpError(400, "submission body must be a JSON object")
+        payload = dict(payload)
+        priority_class = payload.pop("priority_class", None)
+        if priority_class is not None and "priority" not in payload:
+            payload["priority"] = map_priority_class(priority_class)
+
+        admission = self.policy.admit(
+            tenant, tenant_active=self.dispatcher.tenant_active(tenant),
+            queue_depth=self.dispatcher.queue_depth)
+        if not admission:
+            retry = max(1, math.ceil(admission.retry_after))
+            raise HttpError(429, admission.reason,
+                            headers={"Retry-After": str(retry)})
+
+        try:
+            spec = spec_from_payload(payload, where="submission")
+        except ConfigError as exc:
+            raise HttpError(400, str(exc)) from exc
+        try:
+            snapshot = self.dispatcher.submit(spec, tenant)
+        except ConfigError as exc:   # duplicate job id
+            raise HttpError(409, str(exc)) from exc
+        return Response.json(
+            {"job_id": spec.job_id, "tenant": tenant,
+             "state": snapshot["state"], "priority": spec.priority},
+            status=201,
+            headers={"Location": f"/v1/jobs/{spec.job_id}"})
+
+    def _get_job(self, request: Request, job_id: str | None) -> Response:
+        snapshot = self.dispatcher.snapshot(job_id)
+        if snapshot is None:
+            raise HttpError(404, f"unknown job {job_id!r}")
+        return Response.json(snapshot)
+
+    def _delete_job(self, request: Request, job_id: str | None) -> Response:
+        snapshot = self.dispatcher.snapshot(job_id)
+        if snapshot is None:
+            raise HttpError(404, f"unknown job {job_id!r}")
+        owner = snapshot.get("tenant")
+        tenant = self._tenant(request)
+        if owner is not None and owner != tenant:
+            raise HttpError(403,
+                            f"job {job_id!r} belongs to tenant {owner!r}")
+        if not self.dispatcher.cancel(job_id):
+            raise HttpError(
+                409, f"job {job_id!r} is already {snapshot['state']}")
+        return Response.json({"job_id": job_id, "state": "cancelled"})
+
+    def _get_result(self, request: Request, job_id: str | None) -> Response:
+        snapshot = self.dispatcher.snapshot(job_id)
+        if snapshot is None:
+            raise HttpError(404, f"unknown job {job_id!r}")
+        state = snapshot["state"]
+        if state in (JobState.FAILED, JobState.CANCELLED):
+            raise HttpError(410, f"job {job_id!r} {state}: "
+                                 f"{snapshot.get('error') or 'no result'}")
+        if state not in (JobState.SUCCEEDED, JobState.CACHED):
+            raise HttpError(409, f"job {job_id!r} is {state}; result not "
+                                 f"ready", headers={"Retry-After": "1"})
+        response = Response.json({"job_id": job_id, "state": state,
+                                  "cache_hit": snapshot["cache_hit"],
+                                  "result": snapshot["result"]})
+        digest = hashlib.sha256(response.body).hexdigest()
+        response.headers["X-Repro-Digest"] = f"sha256:{digest}"
+        return response
+
+    # ----------------------------------------------------------------- SSE
+    async def _serve_events(self, request: Request,
+                            writer: asyncio.StreamWriter) -> None:
+        stream_key = self._route(request.path)[1]
+        if stream_key != SERVICE_STREAM and \
+                self.dispatcher.snapshot(stream_key) is None:
+            writer.write(Response.error(
+                404, f"unknown job {stream_key!r}").encode(keep_alive=False))
+            await writer.drain()
+            return
+        backlog, queue = self.dispatcher.broker.subscribe(stream_key)
+        stream = SseStream(writer)
+        try:
+            await stream.start({"X-Repro-Stream": stream_key})
+            for record in backlog:
+                await self._send_event(stream, record)
+                if record.get("final"):
+                    return
+            while True:
+                try:
+                    record = await asyncio.wait_for(
+                        queue.get(), timeout=SSE_HEARTBEAT_SECONDS)
+                except asyncio.TimeoutError:
+                    await stream.comment()
+                    continue
+                await self._send_event(stream, record)
+                if record.get("final"):
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            pass                    # subscriber went away
+        finally:
+            self.dispatcher.broker.unsubscribe(stream_key, queue)
+
+    @staticmethod
+    async def _send_event(stream: SseStream, record: dict[str, Any]) -> None:
+        await stream.send(record["event"],
+                          {"stream": record["stream"],
+                           "time": record["time"],
+                           "data": record["data"],
+                           "final": record["final"]},
+                          event_id=record["seq"])
+
+
+class GatewayRunner:
+    """Run a :class:`Gateway` on a background thread with its own loop.
+
+    The embedding surface tests, benchmarks and notebooks use::
+
+        runner = GatewayRunner(dispatcher, policy, port=0)
+        runner.start()                 # returns once the socket is bound
+        ...HTTP against 127.0.0.1:runner.port...
+        runner.stop()                  # stops serving + closes the service
+    """
+
+    def __init__(self, dispatcher: ServiceDispatcher,
+                 policy: GatewayPolicy | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_body: int = DEFAULT_MAX_BODY):
+        self.gateway = Gateway(dispatcher, policy, host=host, port=port,
+                               max_body=max_body)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+
+    @property
+    def port(self) -> int:
+        return self.gateway.port
+
+    @property
+    def dispatcher(self) -> ServiceDispatcher:
+        return self.gateway.dispatcher
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self.gateway.start())
+        self._ready.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self.gateway.stop())
+            self._loop.close()
+
+    def start(self, timeout: float = 10.0) -> "GatewayRunner":
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-gateway", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout):  # pragma: no cover
+            raise RuntimeError("gateway did not come up")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.gateway.dispatcher.close()
+
+
+async def serve(gateway: Gateway,
+                shutdown: "asyncio.Event | None" = None,
+                on_start: Callable[[Gateway], Any] | None = None) -> None:
+    """Start ``gateway`` and serve until ``shutdown`` is set (the CLI's
+    run-forever body; signal handlers set the event)."""
+    await gateway.start()
+    if on_start is not None:
+        on_start(gateway)
+    if shutdown is None:
+        shutdown = asyncio.Event()
+    serve_task = asyncio.ensure_future(gateway.serve_forever())
+    stop_task = asyncio.ensure_future(shutdown.wait())
+    try:
+        await asyncio.wait({serve_task, stop_task},
+                           return_when=asyncio.FIRST_COMPLETED)
+    finally:
+        for task in (serve_task, stop_task):
+            task.cancel()
+        await gateway.stop()

@@ -25,7 +25,7 @@ from repro.service.job import JobRecord, JobSpec, JobState
 from repro.service.queue import (JOURNAL_NAME, JobQueue, JournalReplay,
                                  replay_journal)
 from repro.service.service import AlignmentService
-from repro.service.specfile import load_specs
+from repro.service.specfile import load_specs, spec_from_payload
 from repro.service.worker import (
     FailureInjector,
     InjectedFailure,
@@ -39,5 +39,5 @@ __all__ = [
     "JobQueue", "replay_journal", "JournalReplay", "JOURNAL_NAME",
     "ResultCache", "cache_key", "config_fingerprint",
     "WorkerPool", "execute_job", "FailureInjector", "InjectedFailure",
-    "load_specs",
+    "load_specs", "spec_from_payload",
 ]

@@ -33,6 +33,8 @@ class JobState:
     PENDING -> CACHED                        (duplicate submission)
     RUNNING -> PENDING                       (failed attempt with retries
                                               left; resumes from checkpoint)
+    PENDING | RUNNING -> CANCELLED           (explicit cancellation; a
+                                              running attempt is terminated)
     """
 
     PENDING = "pending"
@@ -40,8 +42,9 @@ class JobState:
     SUCCEEDED = "succeeded"
     FAILED = "failed"
     CACHED = "cached"
+    CANCELLED = "cancelled"
 
-    TERMINAL = frozenset({SUCCEEDED, FAILED, CACHED})
+    TERMINAL = frozenset({SUCCEEDED, FAILED, CACHED, CANCELLED})
 
 
 _AUTO_IDS = itertools.count(1)

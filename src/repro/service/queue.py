@@ -13,6 +13,7 @@ Scheduling order is highest ``priority`` first, FIFO within a priority.
 
 from __future__ import annotations
 
+import heapq
 import os
 import time
 from typing import Any, Iterable, NamedTuple
@@ -43,6 +44,14 @@ class JobQueue:
             os.makedirs(parent, exist_ok=True)
         self._records: dict[str, JobRecord] = {}
         self._order: list[str] = []   # submission order (FIFO tiebreak)
+        self._index: dict[str, int] = {}   # job_id -> submission index
+        # Dispatch heap: (-priority, submission index, job_id).  Entries
+        # are pushed whenever a job (re)enters PENDING and invalidated
+        # lazily — a popped entry whose record is no longer pending is
+        # dropped — so selection is O(log q) at any queue depth instead
+        # of a linear scan.  The FIFO tiebreak is the *submission* index,
+        # so a retried job keeps its original slot within its priority.
+        self._heap: list[tuple[int, int, str]] = []
         #: Corrupt journal records skipped by the last :meth:`recover`.
         self.corrupt_records = 0
 
@@ -61,7 +70,9 @@ class JobQueue:
             raise ConfigError(f"job id {spec.job_id!r} already submitted")
         record = JobRecord(spec=spec)
         self._records[spec.job_id] = record
+        self._index[spec.job_id] = len(self._order)
         self._order.append(spec.job_id)
+        self._push(record)
         self._log("submitted", spec.job_id, spec=spec.to_json(),
                   priority=spec.priority)
         return record
@@ -70,17 +81,34 @@ class JobQueue:
         return [self.submit(spec) for spec in specs]
 
     # ---------------------------------------------------------- selection
+    def _push(self, record: JobRecord) -> None:
+        """Heap entry for a record that just became PENDING."""
+        heapq.heappush(self._heap, (-record.spec.priority,
+                                    self._index[record.job_id],
+                                    record.job_id))
+
     def next_pending(self, skip: frozenset[str] | set[str] = frozenset()
                      ) -> JobRecord | None:
-        """Highest-priority pending record not in ``skip`` (FIFO within)."""
-        best: JobRecord | None = None
-        for job_id in self._order:
-            record = self._records[job_id]
-            if record.state != JobState.PENDING or job_id in skip:
+        """Highest-priority pending record not in ``skip`` (FIFO within).
+
+        A peek, not a pop: the chosen record stays pending (and in the
+        heap) until a ``mark_*`` transition moves it on.
+        """
+        popped: list[tuple[int, int, str]] = []
+        found: JobRecord | None = None
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            record = self._records.get(entry[2])
+            if record is None or record.state != JobState.PENDING:
+                continue        # stale entry: the job moved on
+            popped.append(entry)
+            if record.job_id in skip:
                 continue
-            if best is None or record.spec.priority > best.spec.priority:
-                best = record
-        return best
+            found = record
+            break
+        for entry in popped:
+            heapq.heappush(self._heap, entry)
+        return found
 
     # -------------------------------------------------------- transitions
     def mark_running(self, record: JobRecord) -> None:
@@ -114,8 +142,21 @@ class JobQueue:
         record.state = JobState.PENDING
         record.failures += 1
         record.error = error
+        self._push(record)
         self._log("attempt_failed", record.job_id, attempt=record.attempts,
                   failures=record.failures, error=error)
+
+    def mark_cancelled(self, record: JobRecord, reason: str = "") -> None:
+        """Cancellation is terminal; callers terminate any running attempt
+        first (:meth:`~repro.service.worker.WorkerPool.cancel`)."""
+        if record.done:
+            raise ConfigError(
+                f"job {record.job_id!r} is already {record.state}")
+        record.state = JobState.CANCELLED
+        record.error = reason or "cancelled"
+        record.finished_unix = time.time()
+        self._log("cancelled", record.job_id, attempt=record.attempts,
+                  reason=record.error)
 
     def mark_failed(self, record: JobRecord, error: str) -> None:
         record.state = JobState.FAILED
@@ -131,6 +172,10 @@ class JobQueue:
 
     def get(self, job_id: str) -> JobRecord:
         return self._records[job_id]
+
+    def find(self, job_id: str) -> JobRecord | None:
+        """Like :meth:`get` but ``None`` for an unknown id (gateway 404s)."""
+        return self._records.get(job_id)
 
     @property
     def depth(self) -> int:
@@ -165,7 +210,10 @@ class JobQueue:
                 # untouched; Stage 1 resumes from the on-disk checkpoint.
                 record.state = JobState.PENDING
             queue._records[record.job_id] = record
+            queue._index[record.job_id] = len(queue._order)
             queue._order.append(record.job_id)
+            if record.state == JobState.PENDING:
+                queue._push(record)
         if records:
             queue._log("recovered", "-", jobs=len(records),
                        unfinished=queue.unfinished, corrupt=corrupt)
@@ -240,6 +288,10 @@ def replay_journal(journal_path: str | os.PathLike) -> JournalReplay:
             record.state = JobState.FAILED
             record.failures = event.get("failures", record.failures + 1)
             record.error = event.get("error")
+            record.finished_unix = event.get("time")
+        elif kind == "cancelled":
+            record.state = JobState.CANCELLED
+            record.error = event.get("reason", "cancelled")
             record.finished_unix = event.get("time")
     return JournalReplay([records[job_id] for job_id in order], events,
                          corrupt)

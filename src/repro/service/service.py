@@ -131,6 +131,40 @@ class AlignmentService:
         self.write_manifest(summary)
         return summary
 
+    def step(self) -> int:
+        """One non-blocking dispatch/poll/settle round.
+
+        The incremental counterpart of :meth:`run` for callers that own
+        the loop — the gateway's dispatcher thread pumps this between
+        submissions.  Returns the number of jobs that reached a terminal
+        state this round.
+        """
+        finished = self._dispatch_round()
+        for outcome in self.pool.poll():
+            finished += self._settle(outcome)
+        self._gauges()
+        return finished
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job: a pending one never runs, a running one is
+        terminated (its attempt produces no outcome and charges no
+        retry budget).  Returns ``False`` when the job is already
+        terminal; raises :class:`ConfigError` for an unknown id.
+        """
+        record = self.queue.find(job_id)
+        if record is None:
+            raise ConfigError(f"unknown job id {job_id!r}")
+        if record.done:
+            return False
+        if record.state == JobState.RUNNING:
+            self.pool.cancel(job_id)
+            if record.cache_key is not None:
+                self._inflight_keys.pop(record.cache_key, None)
+        self.queue.mark_cancelled(record)
+        self.telemetry.metrics.counter("service.jobs_cancelled").add(1)
+        self._gauges()
+        return True
+
     def close(self) -> None:
         self.pool.shutdown()
         self.telemetry.close()
@@ -233,7 +267,8 @@ class AlignmentService:
         records = self.queue.records()
         by_state = {state: sum(1 for r in records if r.state == state)
                     for state in (JobState.SUCCEEDED, JobState.CACHED,
-                                  JobState.FAILED, JobState.PENDING)}
+                                  JobState.FAILED, JobState.CANCELLED,
+                                  JobState.PENDING)}
         snapshot = self.telemetry.metrics.snapshot()
         return {
             "jobs": len(records),
@@ -241,6 +276,7 @@ class AlignmentService:
             "succeeded": by_state[JobState.SUCCEEDED],
             "cached": by_state[JobState.CACHED],
             "failed": by_state[JobState.FAILED],
+            "cancelled": by_state[JobState.CANCELLED],
             "remaining": by_state[JobState.PENDING],
             "retries": snapshot.get("service.retries", 0),
             "timeouts": snapshot.get("service.timeouts", 0),

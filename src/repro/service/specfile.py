@@ -21,6 +21,25 @@ from repro.errors import ConfigError
 from repro.service.job import JobSpec
 
 
+def spec_from_payload(item: object, *, where: str = "job spec") -> JobSpec:
+    """Validate one decoded JSON payload into a :class:`JobSpec`.
+
+    The single schema gate shared by the ``repro batch`` spec file and
+    the gateway's ``POST /v1/jobs`` body: the payload must be a JSON
+    object whose fields are exactly the :class:`JobSpec` fields
+    (``scheme`` as a 4-list); anything else raises :class:`ConfigError`
+    with ``where`` naming the offending source.
+    """
+    if not isinstance(item, dict):
+        raise ConfigError(f"{where}: expected a JSON object")
+    try:
+        return JobSpec.from_json(item)
+    except ConfigError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"{where}: {exc}") from exc
+
+
 def load_specs(path: str | os.PathLike) -> list[JobSpec]:
     """Parse a spec file into :class:`JobSpec` objects (order preserved)."""
     path = os.fspath(path)
@@ -49,5 +68,6 @@ def load_specs(path: str | os.PathLike) -> list[JobSpec]:
         if not isinstance(item, dict):
             raise ConfigError(
                 f"spec file {path!r} entry {index}: expected an object")
-        specs.append(JobSpec.from_json(item))
+        specs.append(spec_from_payload(
+            item, where=f"spec file {path!r} entry {index}"))
     return specs

@@ -232,6 +232,25 @@ class WorkerPool:
         self._running = still
         return done
 
+    def cancel(self, job_id: str) -> bool:
+        """Terminate the in-flight attempt of ``job_id``, if any.
+
+        The attempt is removed from the pool without producing a
+        :class:`Finished` outcome — cancellation is the caller's state
+        transition, not a failed attempt — so it never charges the
+        retry budget.  Returns ``True`` when an attempt was killed.
+        """
+        for index, attempt in enumerate(self._running):
+            if attempt.record.job_id != job_id:
+                continue
+            if attempt.process.is_alive():
+                attempt.process.terminate()
+            attempt.process.join()
+            attempt.conn.close()
+            del self._running[index]
+            return True
+        return False
+
     def shutdown(self) -> None:
         """Terminate every in-flight attempt (service teardown)."""
         for attempt in self._running:

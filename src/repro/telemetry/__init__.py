@@ -33,6 +33,7 @@ from repro.telemetry.runtime import NULL_TELEMETRY, NullTelemetry, Telemetry
 from repro.telemetry.sinks import (
     InMemorySink,
     JsonLinesSink,
+    QueueSink,
     StderrSink,
     TelemetrySink,
 )
@@ -41,7 +42,8 @@ from repro.telemetry.spans import Span, Tracer
 __all__ = [
     "Span", "Tracer",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "TelemetrySink", "InMemorySink", "JsonLinesSink", "StderrSink",
+    "TelemetrySink", "InMemorySink", "JsonLinesSink", "QueueSink",
+    "StderrSink",
     "PipelineObserver", "CallbackObserver", "ProgressRenderer", "as_observer",
     "Telemetry", "NullTelemetry", "NULL_TELEMETRY",
     "MANIFEST_VERSION", "build_manifest", "write_manifest", "read_manifest",

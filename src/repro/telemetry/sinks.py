@@ -1,6 +1,6 @@
 """Telemetry sinks: where spans and metric updates go.
 
-Three implementations cover the pipeline's needs:
+Four implementations cover the pipeline's needs:
 
 * :class:`InMemorySink` — keeps finished spans and metric events in
   lists; feeds ``PipelineResult.spans`` and the run manifest, and is
@@ -12,6 +12,9 @@ Three implementations cover the pipeline's needs:
   completions (depth-indented, duration-stamped); the observer-based
   :class:`~repro.telemetry.observer.ProgressRenderer` is the richer
   stage-progress view.
+* :class:`QueueSink` — pushes each event onto a bounded thread-safe
+  queue for an asynchronous consumer; the bridge the gateway drains
+  into its server-sent-event streams.
 
 All sinks implement the same three hooks and ignore what they do not
 need, so any object with these methods can be passed to the pipeline.
@@ -21,6 +24,7 @@ from __future__ import annotations
 
 import json
 import os
+import queue
 import sys
 import threading
 import time
@@ -133,6 +137,53 @@ class JsonLinesSink(TelemetrySink):
 
     def __exit__(self, *exc: object) -> None:
         self.close()
+
+
+class QueueSink(TelemetrySink):
+    """Bounded thread-safe queue of telemetry events for async consumers.
+
+    Each span completion becomes ``{"type": "span", ...span record...}``
+    and each metric update ``{"type": "metric", "name", "kind",
+    "value"}`` — the same record shapes :class:`JsonLinesSink` writes,
+    but queued instead of persisted.  The queue is bounded and *lossy on
+    the old side*: when a slow consumer lets it fill, the oldest event
+    is dropped to make room (counted in :attr:`dropped`), so emitting
+    never blocks the pipeline.
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        self.queue: queue.Queue[dict[str, Any]] = queue.Queue(maxsize)
+        self.dropped = 0
+        self._lock = threading.Lock()
+
+    def _put(self, record: dict[str, Any]) -> None:
+        with self._lock:
+            while True:
+                try:
+                    self.queue.put_nowait(record)
+                    return
+                except queue.Full:
+                    try:
+                        self.queue.get_nowait()
+                        self.dropped += 1
+                    except queue.Empty:  # racing consumer freed space
+                        pass
+
+    def on_span_end(self, span: Span) -> None:
+        self._put({"type": "span", **span.to_record()})
+
+    def on_metric(self, name: str, kind: str, value: int | float) -> None:
+        self._put({"type": "metric", "name": name, "kind": kind,
+                   "value": value})
+
+    def drain(self) -> list[dict[str, Any]]:
+        """Every queued event, oldest first (non-blocking)."""
+        events: list[dict[str, Any]] = []
+        while True:
+            try:
+                events.append(self.queue.get_nowait())
+            except queue.Empty:
+                return events
 
 
 class StderrSink(TelemetrySink):

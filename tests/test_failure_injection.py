@@ -283,3 +283,123 @@ class TestChaosMatrix:
         recovered = JobQueue.recover(journal)
         assert recovered.corrupt_records == replay.corrupt
         assert all(r.state == "pending" for r in recovered.records())
+
+
+# ---------------------------------------------------------------- gateway
+def _serve_proc(root, port_file, *, resume=False):
+    """Start `repro serve` in its own session; returns the Popen."""
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    argv = [sys.executable, "-m", "repro.cli", "serve", "--root", str(root),
+            "--port", "0", "--port-file", str(port_file), "--workers", "1"]
+    if resume:
+        argv.append("--resume")
+    return subprocess.Popen(argv, env=env, start_new_session=True,
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+
+
+def _wait_port(port_file, proc, timeout=60.0) -> int:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:  # pragma: no cover
+            pytest.fail(f"serve process died (rc={proc.returncode})")
+        if os.path.exists(port_file):
+            text = open(port_file, encoding="utf-8").read().strip()
+            if text:
+                return int(text)
+        time.sleep(0.02)
+    pytest.fail("gateway never wrote its port file")  # pragma: no cover
+
+
+def _http(port, method, path, payload=None, tenant=None):
+    import http.client
+    import json
+
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    headers = {"Content-Type": "application/json"}
+    if tenant:
+        headers["X-Repro-Tenant"] = tenant
+    body = json.dumps(payload).encode() if payload is not None else None
+    conn.request(method, path, body=body, headers=headers)
+    response = conn.getresponse()
+    data = response.read()
+    conn.close()
+    return response.status, (json.loads(data) if data else None)
+
+
+class TestGatewayKill:
+    """SIGKILL the serving process mid-run: every job the gateway
+    accepted (201 = journaled) must survive a `serve --resume` restart
+    and run to completion — the HTTP front door adds no new loss mode
+    on top of the journal's crash consistency."""
+
+    def test_sigkill_serve_loses_no_accepted_job(self, tmp_path):
+        root = tmp_path / "gw"
+        port_file = tmp_path / "port"
+        victim = _serve_proc(root, port_file)
+        accepted = []
+        try:
+            port = _wait_port(port_file, victim)
+            # One long job to pin the worker busy, then quick ones that
+            # queue behind it — killed while running + killed while
+            # pending are both exercised.
+            status, _ = _http(port, "POST", "/v1/jobs",
+                              {"job_id": "long", "catalog": "543Kx536K",
+                               "scale": 65536, "block_rows": 32},
+                              tenant="alice")
+            assert status == 201
+            accepted.append("long")
+            for seed in range(3):
+                status, _ = _http(port, "POST", "/v1/jobs",
+                                  {"job_id": f"quick-{seed}",
+                                   "catalog": "162Kx172K", "scale": 8192,
+                                   "seed": seed, "block_rows": 32},
+                                  tenant="bob")
+                assert status == 201
+                accepted.append(f"quick-{seed}")
+            # Wait for the long job to actually be dispatched so the kill
+            # lands mid-attempt (exercising RUNNING -> recovered).
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                status, snapshot = _http(port, "GET", "/v1/jobs/long")
+                if snapshot["state"] == "running":
+                    break
+                time.sleep(0.02)
+            assert snapshot["state"] == "running"
+        finally:
+            os.killpg(victim.pid, signal.SIGKILL)
+            victim.wait()
+
+        # Restart over the same root: the journal replays, interrupted
+        # work is re-queued, and everything accepted runs to completion.
+        port_file2 = tmp_path / "port2"
+        healer = _serve_proc(root, port_file2, resume=True)
+        try:
+            port = _wait_port(port_file2, healer)
+            deadline = time.monotonic() + 300
+            states = {}
+            while time.monotonic() < deadline:
+                _, listing = _http(port, "GET", "/v1/jobs")
+                states = {j["job_id"]: j["state"] for j in listing["jobs"]}
+                if all(states.get(job_id) in ("succeeded", "cached")
+                       for job_id in accepted):
+                    break
+                time.sleep(0.1)
+            for job_id in accepted:
+                assert states.get(job_id) in ("succeeded", "cached"), states
+                status, body = _http(port, "GET",
+                                     f"/v1/jobs/{job_id}/result")
+                assert status == 200
+                assert body["result"]["best_score"] > 0
+        finally:
+            os.killpg(healer.pid, signal.SIGTERM)
+            assert healer.wait(timeout=30) == 0    # clean shutdown
+
+        # The journal records the demotion of the interrupted attempt.
+        _, events, _ = replay_journal(root / "journal.jsonl")
+        assert any(e["event"] == "recovered" for e in events)

@@ -187,6 +187,75 @@ class TestJobQueue:
         queue = JobQueue.recover(tmp_path / "nope" / JOURNAL_NAME)
         assert len(queue) == 0 and queue.depth == 0
 
+    def test_heap_drains_in_priority_then_submission_order(self, tmp_path):
+        """Stress the heap selection: ~50 jobs with random priorities
+        must drain in (priority desc, submission order asc) order."""
+        import random
+
+        rng = random.Random(42)
+        queue = JobQueue(tmp_path / JOURNAL_NAME)
+        expected = []
+        for index in range(50):
+            priority = rng.randrange(5)
+            queue.submit(JobSpec(job_id=f"j{index:02d}",
+                                 catalog="162Kx172K", priority=priority))
+            expected.append((-priority, index, f"j{index:02d}"))
+        expected.sort()
+        drained = []
+        while True:
+            record = queue.next_pending()
+            if record is None:
+                break
+            drained.append(record.job_id)
+            queue.mark_running(record)
+        assert drained == [job_id for _, _, job_id in expected]
+
+    def test_retry_keeps_original_fifo_slot(self, tmp_path):
+        """A retried job re-enters the queue at its original submission
+        slot within its priority band (the linear-scan semantics)."""
+        queue = JobQueue(tmp_path / JOURNAL_NAME)
+        first = queue.submit(JobSpec(job_id="first", catalog="162Kx172K"))
+        queue.submit(JobSpec(job_id="second", catalog="162Kx172K"))
+        queue.mark_running(first)
+        queue.mark_retry(first, "transient")
+        # Despite re-entering after `second` was submitted, `first`
+        # still drains ahead of it.
+        assert queue.next_pending() is first
+
+    def test_next_pending_skips_stale_heap_entries(self, tmp_path):
+        queue = JobQueue(tmp_path / JOURNAL_NAME)
+        top = queue.submit(JobSpec(job_id="top", catalog="162Kx172K",
+                                   priority=9))
+        rest = queue.submit(JobSpec(job_id="rest", catalog="162Kx172K"))
+        queue.mark_running(top)
+        queue.mark_succeeded(top, {"best_score": 1})
+        # `top` still sits in the heap as a stale entry; selection must
+        # fall through to `rest` and keep working on repeat calls.
+        assert queue.next_pending() is rest
+        assert queue.next_pending() is rest
+
+    def test_cancel_pending_is_journaled_and_terminal(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        queue = JobQueue(path)
+        record = queue.submit(JobSpec(job_id="cx", catalog="162Kx172K"))
+        queue.mark_cancelled(record, reason="operator request")
+        assert record.state == JobState.CANCELLED
+        assert record.done
+        assert queue.depth == 0
+        assert queue.next_pending() is None
+        with pytest.raises(ConfigError, match="already cancelled"):
+            queue.mark_cancelled(record)
+        # Replay reconstructs the terminal state from the journal.
+        records, events, corrupt = replay_journal(path)
+        assert corrupt == 0
+        assert records[0].state == JobState.CANCELLED
+        assert records[0].error == "operator request"
+        assert events[-1]["event"] == "cancelled"
+        # And recover() does not resurrect it as pending.
+        recovered = JobQueue.recover(path)
+        assert recovered.get("cx").state == JobState.CANCELLED
+        assert recovered.depth == 0
+
 
 # -------------------------------------------------------------- specfile
 class TestSpecFile:
@@ -414,3 +483,73 @@ class TestAlignmentService:
         assert summary["cached"] == 1
         assert summary["jobs_per_second"] > 0
         assert summary["cache"]["hits"] == 1
+
+
+# ------------------------------------------------------------ cancellation
+class TestCancellation:
+    def test_service_cancel_pending_and_summary(self, tmp_path):
+        service = AlignmentService(tmp_path / "svc")
+        try:
+            service.submit(JobSpec(job_id="go", catalog="162Kx172K",
+                                   scale=8192, block_rows=32))
+            service.submit(JobSpec(job_id="stop", catalog="162Kx172K",
+                                   scale=8192, seed=1, block_rows=32))
+            assert service.cancel("stop") is True
+            assert service.cancel("stop") is False      # already terminal
+            with pytest.raises(ConfigError, match="unknown job id"):
+                service.cancel("ghost")
+            summary = service.run()
+        finally:
+            service.close()
+        assert service.queue.get("stop").state == JobState.CANCELLED
+        assert service.queue.get("go").state == JobState.SUCCEEDED
+        assert summary["cancelled"] == 1
+        assert summary["succeeded"] == 1
+        metrics = service.telemetry.metrics.snapshot()
+        assert metrics["service.jobs_cancelled"] == 1
+
+    def test_service_cancel_running_terminates_attempt(self, tmp_path):
+        """A running job's worker process is killed and the job lands in
+        CANCELLED without charging the retry budget."""
+        service = AlignmentService(tmp_path / "svc")
+        try:
+            # A big scale keeps the attempt busy long enough to cancel.
+            service.submit(JobSpec(job_id="long", catalog="543Kx536K",
+                                   scale=65536, block_rows=32))
+            for _ in range(200):
+                service.step()
+                record = service.queue.get("long")
+                if record.state == JobState.RUNNING:
+                    break
+            assert record.state == JobState.RUNNING
+            assert service.cancel("long") is True
+            assert record.state == JobState.CANCELLED
+            assert record.failures == 0
+            assert service.pool.in_flight == 0
+            # The pump never resurrects it.
+            service.step()
+            assert record.state == JobState.CANCELLED
+        finally:
+            service.close()
+
+    def test_jobs_cancel_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        root = tmp_path / "svc"
+        service = AlignmentService(root)
+        try:
+            service.submit(JobSpec(job_id="victim", catalog="162Kx172K",
+                                   scale=8192, block_rows=32))
+        finally:
+            service.close()
+
+        assert main(["jobs", "cancel", "--root", str(root)]) == 2  # no id
+        assert main(["jobs", "cancel", "ghost", "--root", str(root)]) == 2
+        assert main(["jobs", "cancel", "victim", "--root", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "cancelled victim" in out
+        # Re-cancelling a terminal job is refused.
+        assert main(["jobs", "cancel", "victim", "--root", str(root)]) == 1
+        # The cancellation is durable: recover() sees the terminal state.
+        recovered = JobQueue.recover(root / JOURNAL_NAME)
+        assert recovered.get("victim").state == JobState.CANCELLED
