@@ -132,6 +132,15 @@ def test_gateway_throughput(tmp_path):
     runner = GatewayRunner(dispatcher, _policy(), port=0).start()
     try:
         port = runner.port
+        # Fail fast on an unhealthy gateway — benchmarking a dead pump
+        # produces numbers that measure nothing.
+        conn = _connect(port)
+        conn.request("GET", "/v1/healthz")
+        response = conn.getresponse()
+        health = json.loads(response.read())
+        conn.close()
+        assert response.status == 200 and health["status"] != "unhealthy", \
+            f"gateway unhealthy before benchmarking: {health}"
         dispatcher.pause()
         submit_rps = _bench_submit_rps(port, scale)
         status_rps = _bench_status_rps(port)

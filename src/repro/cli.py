@@ -49,6 +49,31 @@ def _scheme(args: argparse.Namespace) -> ScoringScheme:
                          gap_first=args.gap_first, gap_ext=args.gap_ext)
 
 
+def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("supervision")
+    group.add_argument("--stall-seconds", type=float, default=None,
+                       help="kill attempts whose progress heartbeat stops "
+                            "advancing for this long (requeued without "
+                            "charging retries; default: disabled)")
+    group.add_argument("--max-rss-mb", type=int, default=None,
+                       help="per-attempt resident-set ceiling in MiB "
+                            "(over-budget attempts fail as 'memory limit "
+                            "exceeded'; Linux only, default: disabled)")
+    group.add_argument("--crash-loop-threshold", type=int, default=3,
+                       help="abnormal attempt endings (crash/stall) before "
+                            "a job is quarantined")
+    group.add_argument("--retry-backoff-base", type=float, default=0.05,
+                       metavar="SECONDS",
+                       help="base of the exponential retry backoff "
+                            "(0 disables backoff: hot requeue)")
+    group.add_argument("--disk-low-water-mb", type=int, default=None,
+                       help="pause dispatch + evict cache when the root's "
+                            "filesystem has less than this many MiB free")
+    group.add_argument("--disk-high-water-mb", type=int, default=None,
+                       help="resume dispatch above this free-space mark "
+                            "(default: twice the low-water mark)")
+
+
 def cmd_align(args: argparse.Namespace) -> int:
     s0 = read_fasta(args.seq0)
     s1 = read_fasta(args.seq1)
@@ -171,6 +196,25 @@ def cmd_pack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _supervisor(args: argparse.Namespace):
+    """Build the SupervisorConfig shared by ``batch`` and ``serve``."""
+    from repro.service import RetryBackoff, SupervisorConfig
+
+    backoff = None
+    if args.retry_backoff_base > 0:
+        backoff = RetryBackoff(base_seconds=args.retry_backoff_base)
+    return SupervisorConfig(
+        stall_seconds=args.stall_seconds,
+        max_rss_bytes=(args.max_rss_mb * 1024 * 1024
+                       if args.max_rss_mb else None),
+        crash_loop_threshold=args.crash_loop_threshold,
+        backoff=backoff,
+        disk_low_water_bytes=(args.disk_low_water_mb * 1024 * 1024
+                              if args.disk_low_water_mb else None),
+        disk_high_water_bytes=(args.disk_high_water_mb * 1024 * 1024
+                               if args.disk_high_water_mb else None))
+
+
 def cmd_batch(args: argparse.Namespace) -> int:
     from repro.report import render_batch_table
     from repro.service import AlignmentService, load_specs
@@ -183,7 +227,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
     trace_sink = JsonLinesSink(args.trace) if args.trace else None
     sinks = (trace_sink,) if trace_sink is not None else ()
     service = AlignmentService(args.root, workers=args.workers,
-                               resume=args.resume, sinks=sinks)
+                               resume=args.resume, sinks=sinks,
+                               supervisor=_supervisor(args))
     try:
         if args.specs is not None:
             service.submit_many(load_specs(args.specs))
@@ -195,7 +240,10 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if summary["remaining"]:
         print(f"{summary['remaining']} job(s) still pending — continue with "
               f"`batch --resume --root {args.root}`")
-    if summary["failed"]:
+    if summary["quarantined"]:
+        print(f"{summary['quarantined']} job(s) quarantined — triage with "
+              f"`jobs diagnose JOB_ID --root {args.root}`")
+    if summary["failed"] or summary["quarantined"]:
         return 1
     return 0
 
@@ -227,6 +275,11 @@ def cmd_jobs(args: argparse.Namespace) -> int:
         print(f"cancelled {args.job_id} (journaled; a live gateway is "
               f"cancelled through DELETE /v1/jobs/{args.job_id})")
         return 0
+    if args.action == "diagnose":
+        if not args.job_id:
+            print("error: `jobs diagnose` needs a job id", file=sys.stderr)
+            return 2
+        return _diagnose(args.root, args.job_id)
     records, events, corrupt = replay_journal(journal)
     if not events:
         print(f"no journal at {journal}", file=sys.stderr)
@@ -235,6 +288,46 @@ def cmd_jobs(args: argparse.Namespace) -> int:
     if corrupt:
         print(f"warning: {corrupt} corrupt journal record(s) skipped "
               f"(run `fsck {args.root}` for details)", file=sys.stderr)
+    return 0
+
+
+def _diagnose(root: str, job_id: str) -> int:
+    """Render a quarantined job's diagnostics bundle for triage."""
+    import os
+
+    from repro.service import read_diagnostics
+
+    workdir = os.path.join(root, "jobs", job_id)
+    try:
+        bundle = read_diagnostics(workdir)
+    except FileNotFoundError:
+        print(f"error: no diagnostics bundle under {workdir} — only "
+              f"quarantined jobs leave one (see `jobs --root {root}`)",
+              file=sys.stderr)
+        return 1
+    print(f"job {bundle['job_id']}: {bundle['state']}")
+    print(f"  error:         {bundle.get('error')}")
+    print(f"  attempts:      {bundle.get('attempts')} "
+          f"(failures: {bundle.get('failures')}, "
+          f"crashes: {bundle.get('crashes')}, "
+          f"interruptions: {bundle.get('interruptions')})")
+    print(f"  checkpoint:    row {bundle.get('checkpoint_row')}")
+    print(f"  workdir:       {bundle.get('workdir')}")
+    print(f"  manifest:      {bundle.get('manifest')}")
+    log = bundle.get("attempt_log") or []
+    if log:
+        print("  attempt log (most recent last):")
+        for entry in log:
+            beat = entry.get("last_heartbeat")
+            at = (f" at {beat[0]} {beat[1]:.3f}" if beat else "")
+            print(f"    #{entry.get('attempt')} [{entry.get('kind')}]"
+                  f"{at}: {entry.get('error')}")
+        last_tb = next((e.get("traceback") for e in reversed(log)
+                        if e.get("traceback")), None)
+        if last_tb:
+            print("  last traceback:")
+            for line in last_tb.rstrip().splitlines():
+                print(f"    {line}")
     return 0
 
 
@@ -249,7 +342,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     trace_sink = JsonLinesSink(args.trace) if args.trace else None
     sinks = (trace_sink,) if trace_sink is not None else ()
     dispatcher = ServiceDispatcher(args.root, workers=args.workers,
-                                   resume=args.resume, sinks=sinks)
+                                   resume=args.resume, sinks=sinks,
+                                   supervisor=_supervisor(args))
     policy = GatewayPolicy(
         max_active_per_tenant=args.tenant_max_active,
         rate_per_tenant=args.tenant_rate,
@@ -407,17 +501,19 @@ def build_parser() -> argparse.ArgumentParser:
                               "before submitting anything")
     p_batch.add_argument("--trace", default=None, metavar="FILE",
                          help="write a JSON-lines service trace here")
+    _add_supervision_args(p_batch)
     p_batch.set_defaults(func=cmd_batch)
 
     p_jobs = sub.add_parser(
         "jobs", help="inspect a service root's queue journal")
     p_jobs.add_argument("action", nargs="?", default="list",
-                        choices=("list", "cancel"),
+                        choices=("list", "cancel", "diagnose"),
                         help="'list' (default) renders the journal; "
                              "'cancel JOB_ID' journals a cancellation of "
-                             "a pending job")
+                             "a pending job; 'diagnose JOB_ID' renders a "
+                             "quarantined job's diagnostics bundle")
     p_jobs.add_argument("job_id", nargs="?", default=None,
-                        help="job id for 'cancel'")
+                        help="job id for 'cancel' / 'diagnose'")
     p_jobs.add_argument("--root", required=True)
     p_jobs.set_defaults(func=cmd_jobs)
 
@@ -450,6 +546,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="global pending-job ceiling (429 beyond it)")
     p_serve.add_argument("--trace", default=None, metavar="FILE",
                          help="write a JSON-lines service trace here")
+    _add_supervision_args(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
     p_fsck = sub.add_parser(

@@ -11,7 +11,8 @@ event loop never blocks on an alignment.
 The pump also turns state into events: after each round it diffs job
 states against the last round and publishes lifecycle events
 (``queued``/``running``/``retrying``/``succeeded``/``cached``/
-``failed``/``cancelled``) to the :class:`~repro.gateway.events.EventBroker`,
+``failed``/``cancelled``/``quarantined``) to the
+:class:`~repro.gateway.events.EventBroker`,
 and drains the service's :class:`~repro.telemetry.QueueSink` —
 ``service.job`` span completions land on the owning job's stream, and a
 throttled metrics snapshot lands on the service-wide stream.
@@ -37,7 +38,8 @@ from repro.telemetry.sinks import QueueSink
 #: Lifecycle event name per (previous state -> new state) edge; states
 #: not listed fall back to the new state's name.
 _FINAL_STATES = frozenset({JobState.SUCCEEDED, JobState.CACHED,
-                           JobState.FAILED, JobState.CANCELLED})
+                           JobState.FAILED, JobState.CANCELLED,
+                           JobState.QUARANTINED})
 
 #: Result-summary keys worth carrying in terminal events (the full
 #: payload stays behind GET /v1/jobs/{id}/result).
@@ -50,11 +52,13 @@ class ServiceDispatcher:
 
     def __init__(self, root: str, *, workers: int = 1, resume: bool = False,
                  poll_seconds: float = 0.02, metrics_interval: float = 1.0,
-                 sinks: tuple = (), cpu_count: int | None = None):
+                 sinks: tuple = (), cpu_count: int | None = None,
+                 supervisor=None):
         self.sink = QueueSink()
         self.service = AlignmentService(
             root, workers=workers, resume=resume,
-            sinks=(self.sink,) + tuple(sinks), cpu_count=cpu_count)
+            sinks=(self.sink,) + tuple(sinks), cpu_count=cpu_count,
+            supervisor=supervisor)
         self.broker = EventBroker()
         self.poll_seconds = poll_seconds
         self.metrics_interval = metrics_interval
@@ -65,6 +69,8 @@ class ServiceDispatcher:
         self._tenants: dict[str, str] = {}
         self._paused = False
         self._last_metrics = 0.0
+        self._pump_error: str | None = None
+        self._pump_restarts = 0
         # Jobs recovered from the journal predate this process: seed the
         # state map (emitting their current state as the first event
         # keeps late SSE subscribers coherent).
@@ -82,6 +88,34 @@ class ServiceDispatcher:
                                         name="repro-gateway-pump",
                                         daemon=True)
         self._thread.start()
+
+    def ensure_pump(self) -> str:
+        """Supervise the pump thread itself.
+
+        Returns the pump component state: ``"ok"`` (alive, never
+        crashed), ``"degraded"`` (crashed once and was restarted — the
+        one-shot restart happens right here), or ``"dead"`` (crashed
+        again past the restart budget; the gateway reports unhealthy and
+        a human gets to look at :attr:`pump_error`).
+        """
+        if self._thread is None or self._stop.is_set():
+            return "ok"     # nothing running to supervise
+        if self._thread.is_alive():
+            return "degraded" if self._pump_restarts else "ok"
+        if self._pump_restarts < 1:
+            self._pump_restarts += 1
+            with self._lock:
+                self.service.telemetry.metrics.counter(
+                    "supervision.pump_restarts").add(1)
+            self._thread = None
+            self.start()
+            return "degraded"
+        return "dead"
+
+    @property
+    def pump_error(self) -> str | None:
+        """The exception that killed the pump thread, if any."""
+        return self._pump_error
 
     def stop(self) -> None:
         self._stop.set()
@@ -106,6 +140,7 @@ class ServiceDispatcher:
     # ------------------------------------------------------------- actions
     def submit(self, spec: JobSpec, tenant: str) -> dict[str, Any]:
         """Thread-safe submission; journaled before this returns."""
+        self.ensure_pump()   # a dead pump must not silently strand jobs
         with self._lock:
             record = self.service.submit(spec)
             self._tenants[record.job_id] = tenant
@@ -160,16 +195,43 @@ class ServiceDispatcher:
             return dict(self.service.telemetry.metrics.snapshot())
 
     def health(self) -> dict[str, Any]:
+        """Component-level health: ``ok`` | ``degraded`` | ``unhealthy``.
+
+        The pump component self-heals here (see :meth:`ensure_pump`);
+        a tripped disk guard degrades the gateway without killing it;
+        a pump dead past its restart budget is ``unhealthy``.
+        """
+        pump = self.ensure_pump()
         with self._lock:
             queue = self.service.queue
+            disk_paused = self.service.disk_paused
+            quarantined = sum(1 for r in queue.records()
+                              if r.state == JobState.QUARANTINED)
+            if pump == "dead":
+                status = "unhealthy"
+            elif pump == "degraded" or disk_paused:
+                status = "degraded"
+            else:
+                status = "ok"
             return {
-                "status": "ok",
+                "status": status,
+                "components": {
+                    "pump": pump,
+                    "disk": "paused" if disk_paused else "ok",
+                },
+                "pump_error": self._pump_error,
                 "jobs": len(queue),
                 "queue_depth": queue.depth,
                 "in_flight": self.service.pool.in_flight,
                 "workers": self.service.pool.workers,
+                "quarantined": quarantined,
                 "paused": self._paused,
             }
+
+    @property
+    def disk_paused(self) -> bool:
+        with self._lock:
+            return self.service.disk_paused
 
     # ------------------------------------------------------------ internals
     def _snapshot_locked(self, record: JobRecord) -> dict[str, Any]:
@@ -180,8 +242,9 @@ class ServiceDispatcher:
     @staticmethod
     def _event_name(record: JobRecord) -> str:
         if record.state == JobState.PENDING:
-            return "retrying" if record.failures else "queued"
-        return record.state    # running/succeeded/cached/failed/cancelled
+            return ("retrying" if record.failures or record.interruptions
+                    else "queued")
+        return record.state    # running/succeeded/.../quarantined
 
     @staticmethod
     def _event_data(record: JobRecord) -> dict[str, Any]:
@@ -236,15 +299,20 @@ class ServiceDispatcher:
             self.broker.publish(SERVICE_STREAM, "metrics", self.metrics())
 
     def _pump(self) -> None:
-        while not self._stop.is_set():
-            events = []
-            with self._lock:
-                if not self._paused:
-                    try:
-                        self.service.step()
-                    except ConfigError:  # pragma: no cover - defensive
-                        pass
-                    events = self._sync_locked()
-            self._publish(events)
-            self._relay_telemetry(self.sink.drain())
-            self._stop.wait(self.poll_seconds)
+        try:
+            while not self._stop.is_set():
+                events = []
+                with self._lock:
+                    if not self._paused:
+                        try:
+                            self.service.step()
+                        except ConfigError:  # pragma: no cover - defensive
+                            pass
+                        events = self._sync_locked()
+                self._publish(events)
+                self._relay_telemetry(self.sink.drain())
+                self._stop.wait(self.poll_seconds)
+        except Exception as exc:  # noqa: BLE001 - the thread must not die
+            # silently: record why, so /healthz can surface it and
+            # ensure_pump() can decide on the one-shot restart.
+            self._pump_error = f"{type(exc).__name__}: {exc}"

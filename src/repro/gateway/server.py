@@ -11,7 +11,7 @@ GET    /v1/jobs/{id}                job status snapshot
 GET    /v1/jobs/{id}/events         server-sent events progress stream
 GET    /v1/jobs/{id}/result         final result (checksummed, see below)
 DELETE /v1/jobs/{id}                cancel (running attempts terminated)
-GET    /v1/healthz                  liveness + queue gauges
+GET    /v1/healthz                  health: ok|degraded|unhealthy (503)
 GET    /v1/metrics                  service metrics snapshot
 ====== ============================ ===========================================
 
@@ -196,7 +196,14 @@ class Gateway:
             or DEFAULT_TENANT
 
     def _get_healthz(self, request: Request, job_id: str | None) -> Response:
-        return Response.json(self.dispatcher.health())
+        """``ok`` and ``degraded`` answer 200 (the gateway still serves);
+        ``unhealthy`` answers 503 + Retry-After so load balancers and
+        benchmarks fail fast instead of queueing into a dead pump."""
+        health = self.dispatcher.health()
+        if health["status"] == "unhealthy":
+            return Response.json(health, status=503,
+                                 headers={"Retry-After": "5"})
+        return Response.json(health)
 
     def _get_metrics(self, request: Request, job_id: str | None) -> Response:
         return Response.json({"metrics": self.dispatcher.metrics(),
@@ -216,6 +223,12 @@ class Gateway:
         if priority_class is not None and "priority" not in payload:
             payload["priority"] = map_priority_class(priority_class)
 
+        if self.dispatcher.disk_paused:
+            # Disk-guard backpressure: accepting a job means journaling
+            # it onto the very disk that is out of space.
+            raise HttpError(503, "service paused: disk free space below "
+                                 "low-water mark",
+                            headers={"Retry-After": "10"})
         admission = self.policy.admit(
             tenant, tenant_active=self.dispatcher.tenant_active(tenant),
             queue_depth=self.dispatcher.queue_depth)
@@ -263,7 +276,8 @@ class Gateway:
         if snapshot is None:
             raise HttpError(404, f"unknown job {job_id!r}")
         state = snapshot["state"]
-        if state in (JobState.FAILED, JobState.CANCELLED):
+        if state in (JobState.FAILED, JobState.CANCELLED,
+                     JobState.QUARANTINED):
             raise HttpError(410, f"job {job_id!r} {state}: "
                                  f"{snapshot.get('error') or 'no result'}")
         if state not in (JobState.SUCCEEDED, JobState.CACHED):

@@ -186,21 +186,21 @@ def render_batch_table(records, summary: dict) -> str:
     """The ``repro batch`` throughput table: one line per job, then the
     run summary (jobs/sec, cache hit rate, retries)."""
     out = io.StringIO()
-    out.write(f"{'job':<14} {'state':<10} {'score':>8} {'length':>8} "
+    out.write(f"{'job':<14} {'state':<12} {'score':>8} {'length':>8} "
               f"{'att':>4} {'resume@':>8} {'seconds':>8}  note\n")
     for record in records:
         result = record.result or {}
         note = ""
         if record.cache_hit:
             note = "served from cache"
-        elif record.error and record.state == "failed":
+        elif record.error and record.state in ("failed", "quarantined"):
             note = record.error.splitlines()[0][:40]
         elif result.get("resumed_from_row"):
             note = "retried from checkpoint"
         score = result.get("best_score")
         length = result.get("alignment_length")
         resumed = result.get("resumed_from_row") or 0
-        out.write(f"{record.job_id:<14} {record.state:<10} "
+        out.write(f"{record.job_id:<14} {record.state:<12} "
                   f"{score if score is not None else '-':>8} "
                   f"{length if length is not None else '-':>8} "
                   f"{record.attempts:>4} "
@@ -230,13 +230,13 @@ def render_jobs_table(records, events) -> str:
     running = sum(1 for r in records if r.state == "running")
     out.write(f"journal: {len(events)} events over {len(records)} jobs  "
               f"(queue depth: {pending}, running at last write: {running})\n\n")
-    out.write(f"{'job':<14} {'state':<10} {'prio':>5} {'att':>4} "
+    out.write(f"{'job':<14} {'state':<12} {'prio':>5} {'att':>4} "
               f"{'fail':>5} {'score':>8}  error\n")
     for record in records:
         result = record.result or {}
         score = result.get("best_score")
         error = (record.error or "").splitlines()[0][:44] if record.error else ""
-        out.write(f"{record.job_id:<14} {record.state:<10} "
+        out.write(f"{record.job_id:<14} {record.state:<12} "
                   f"{record.spec.priority:>5} {record.attempts:>4} "
                   f"{record.failures:>5} "
                   f"{score if score is not None else '-':>8}  {error}\n")

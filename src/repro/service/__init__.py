@@ -26,8 +26,12 @@ from repro.service.queue import (JOURNAL_NAME, JobQueue, JournalReplay,
                                  replay_journal)
 from repro.service.service import AlignmentService
 from repro.service.specfile import load_specs, spec_from_payload
+from repro.service.supervision import (DiskGuard, RetryBackoff,
+                                       SupervisorConfig, read_diagnostics,
+                                       rss_bytes, write_diagnostics)
 from repro.service.worker import (
     FailureInjector,
+    HangInjector,
     InjectedFailure,
     WorkerPool,
     execute_job,
@@ -38,6 +42,9 @@ __all__ = [
     "JobSpec", "JobRecord", "JobState",
     "JobQueue", "replay_journal", "JournalReplay", "JOURNAL_NAME",
     "ResultCache", "cache_key", "config_fingerprint",
-    "WorkerPool", "execute_job", "FailureInjector", "InjectedFailure",
+    "WorkerPool", "execute_job", "FailureInjector", "HangInjector",
+    "InjectedFailure",
+    "SupervisorConfig", "RetryBackoff", "DiskGuard", "rss_bytes",
+    "write_diagnostics", "read_diagnostics",
     "load_specs", "spec_from_payload",
 ]

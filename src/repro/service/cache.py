@@ -110,6 +110,21 @@ class ResultCache:
         text = codec.seal_json(json_safe(payload), codec.KIND_CACHE_ENTRY)
         codec.atomic_write_bytes(self._path(key), text.encode("utf-8"))
 
+    def evict_all(self) -> int:
+        """Delete every cache entry (disk-pressure relief); returns the
+        number of entries removed.  Entries are derived data — any evicted
+        result recomputes on the next duplicate submission."""
+        evicted = 0
+        for name in os.listdir(self.directory):
+            if not name.endswith(".json"):
+                continue
+            try:
+                os.remove(os.path.join(self.directory, name))
+                evicted += 1
+            except OSError:
+                continue
+        return evicted
+
     def __len__(self) -> int:
         return sum(1 for name in os.listdir(self.directory)
                    if name.endswith(".json"))

@@ -35,6 +35,9 @@ class JobState:
                                               left; resumes from checkpoint)
     PENDING | RUNNING -> CANCELLED           (explicit cancellation; a
                                               running attempt is terminated)
+    RUNNING -> QUARANTINED                   (crash-loop: too many attempts
+                                              ended abnormally — crash or
+                                              stall — without reporting)
     """
 
     PENDING = "pending"
@@ -43,8 +46,9 @@ class JobState:
     FAILED = "failed"
     CACHED = "cached"
     CANCELLED = "cancelled"
+    QUARANTINED = "quarantined"
 
-    TERMINAL = frozenset({SUCCEEDED, FAILED, CACHED, CANCELLED})
+    TERMINAL = frozenset({SUCCEEDED, FAILED, CACHED, CANCELLED, QUARANTINED})
 
 
 _AUTO_IDS = itertools.count(1)
@@ -62,9 +66,16 @@ class JobSpec:
     resume Stage 1 from the latest checkpoint; set it to ``None`` to make
     every retry start over.
 
+    ``stall_seconds`` and ``max_rss_bytes`` override the service-wide
+    supervision defaults per job (``None`` defers to the supervisor).
+
     ``inject_failure_row`` is a test/chaos hook: the *first* attempt
     raises once the Stage-1 sweep passes that row, exercising the
-    checkpoint-retry path end to end.
+    checkpoint-retry path end to end.  ``inject_hang_row`` hangs the
+    first attempt instead (before writing anything to the result pipe at
+    row 0 — the stall detector's worst case), and
+    ``inject_crash_attempts`` makes the first N attempts die via
+    ``os._exit`` without reporting, exercising the crash-loop quarantine.
     """
 
     job_id: str = ""
@@ -83,7 +94,11 @@ class JobSpec:
     priority: int = 0
     deadline_seconds: float | None = None
     max_retries: int = 2
+    stall_seconds: float | None = None
+    max_rss_bytes: int | None = None
     inject_failure_row: int | None = None
+    inject_hang_row: int | None = None
+    inject_crash_attempts: int = 0
 
     def __post_init__(self) -> None:
         if not self.job_id:
@@ -102,6 +117,16 @@ class JobSpec:
         if self.deadline_seconds is not None and self.deadline_seconds <= 0:
             raise ConfigError(
                 f"job {self.job_id!r}: deadline_seconds must be positive")
+        if self.stall_seconds is not None and self.stall_seconds <= 0:
+            raise ConfigError(
+                f"job {self.job_id!r}: stall_seconds must be positive")
+        if self.max_rss_bytes is not None and self.max_rss_bytes <= 0:
+            raise ConfigError(
+                f"job {self.job_id!r}: max_rss_bytes must be positive")
+        if self.inject_crash_attempts < 0:
+            raise ConfigError(
+                f"job {self.job_id!r}: inject_crash_attempts must be "
+                f"non-negative")
         # Pipeline-knob validation is PipelineConfig's job; probe it now so
         # a bad spec is rejected at submit time, not inside a worker.
         self.pipeline_config(n=max(4096, self.block_rows))
@@ -155,6 +180,9 @@ class JobRecord:
     state: str = JobState.PENDING
     attempts: int = 0          # 'started' events (reporting)
     failures: int = 0          # failed attempts (the retry budget ledger)
+    interruptions: int = 0     # attempts ended without charging the budget
+    crashes: int = 0           # abnormal endings (the quarantine ledger)
+    not_before: float | None = None   # backoff: earliest next dispatch
     submitted_unix: float = field(default_factory=time.time)
     started_unix: float | None = None
     finished_unix: float | None = None
@@ -162,6 +190,7 @@ class JobRecord:
     error: str | None = None
     cache_key: str | None = None
     cache_hit: bool = False
+    diagnostics: str | None = None    # quarantine bundle path
 
     @property
     def job_id(self) -> str:
@@ -184,6 +213,9 @@ class JobRecord:
             "state": self.state,
             "attempts": self.attempts,
             "failures": self.failures,
+            "interruptions": self.interruptions,
+            "crashes": self.crashes,
+            "not_before": self.not_before,
             "submitted_unix": self.submitted_unix,
             "started_unix": self.started_unix,
             "finished_unix": self.finished_unix,
@@ -191,4 +223,5 @@ class JobRecord:
             "error": self.error,
             "cache_key": self.cache_key,
             "cache_hit": self.cache_hit,
+            "diagnostics": self.diagnostics,
         }

@@ -87,13 +87,18 @@ class JobQueue:
                                     self._index[record.job_id],
                                     record.job_id))
 
-    def next_pending(self, skip: frozenset[str] | set[str] = frozenset()
-                     ) -> JobRecord | None:
+    def next_pending(self, skip: frozenset[str] | set[str] = frozenset(),
+                     now: float | None = None) -> JobRecord | None:
         """Highest-priority pending record not in ``skip`` (FIFO within).
 
         A peek, not a pop: the chosen record stays pending (and in the
-        heap) until a ``mark_*`` transition moves it on.
+        heap) until a ``mark_*`` transition moves it on.  Records backed
+        off past ``now`` (their ``not_before``) are skipped but kept —
+        they become eligible again once the clock catches up, still in
+        their original FIFO slot.
         """
+        if now is None:
+            now = time.time()
         popped: list[tuple[int, int, str]] = []
         found: JobRecord | None = None
         while self._heap:
@@ -104,16 +109,25 @@ class JobQueue:
             popped.append(entry)
             if record.job_id in skip:
                 continue
+            if record.not_before is not None and record.not_before > now:
+                continue        # backing off: eligible later
             found = record
             break
         for entry in popped:
             heapq.heappush(self._heap, entry)
         return found
 
+    def next_not_before(self) -> float | None:
+        """Earliest ``not_before`` among pending jobs (idle-wait hint)."""
+        times = [r.not_before for r in self._records.values()
+                 if r.state == JobState.PENDING and r.not_before is not None]
+        return min(times) if times else None
+
     # -------------------------------------------------------- transitions
     def mark_running(self, record: JobRecord) -> None:
         record.state = JobState.RUNNING
         record.attempts += 1
+        record.not_before = None
         if record.started_unix is None:
             record.started_unix = time.time()
         self._log("started", record.job_id, attempt=record.attempts)
@@ -137,14 +151,59 @@ class JobQueue:
         self._log("cached", record.job_id, cache_key=cache_key,
                   result=_summary(result))
 
-    def mark_retry(self, record: JobRecord, error: str) -> None:
-        """One attempt failed; the job goes back to pending."""
+    def mark_retry(self, record: JobRecord, error: str,
+                   not_before: float | None = None) -> None:
+        """One attempt failed; the job goes back to pending.
+
+        ``not_before`` (unix seconds) is the retry-backoff hold: the
+        record stays in its original FIFO slot but ``next_pending`` will
+        not hand it out before then.  Journaled, so a replay restores the
+        same hold instead of hot-requeueing.
+        """
         record.state = JobState.PENDING
         record.failures += 1
         record.error = error
+        record.not_before = not_before
         self._push(record)
         self._log("attempt_failed", record.job_id, attempt=record.attempts,
-                  failures=record.failures, error=error)
+                  failures=record.failures, error=error,
+                  not_before=not_before)
+
+    def mark_interrupted(self, record: JobRecord, reason: str,
+                         not_before: float | None = None,
+                         crash: bool = True) -> None:
+        """One attempt ended abnormally (crash, stall): requeue without
+        charging the retry budget.
+
+        ``crash`` attempts count toward the quarantine ledger
+        (:attr:`JobRecord.crashes`); the service compares that ledger to
+        its crash-loop threshold and quarantines instead when exceeded.
+        """
+        record.state = JobState.PENDING
+        record.interruptions += 1
+        if crash:
+            record.crashes += 1
+        record.error = reason
+        record.not_before = not_before
+        self._push(record)
+        self._log("attempt_interrupted", record.job_id,
+                  attempt=record.attempts, crashes=record.crashes,
+                  interruptions=record.interruptions, reason=reason,
+                  not_before=not_before, crash=crash)
+
+    def mark_quarantined(self, record: JobRecord, error: str,
+                         diagnostics: str | None = None) -> None:
+        """Crash-loop terminal state: the job will not be retried.
+
+        ``diagnostics`` is the on-disk triage bundle path
+        (:func:`repro.service.supervision.write_diagnostics`)."""
+        record.state = JobState.QUARANTINED
+        record.error = error
+        record.diagnostics = diagnostics
+        record.finished_unix = time.time()
+        self._log("quarantined", record.job_id, attempt=record.attempts,
+                  crashes=record.crashes, error=error,
+                  diagnostics=diagnostics)
 
     def mark_cancelled(self, record: JobRecord, reason: str = "") -> None:
         """Cancellation is terminal; callers terminate any running attempt
@@ -274,6 +333,20 @@ def replay_journal(journal_path: str | os.PathLike) -> JournalReplay:
             record.state = JobState.PENDING
             record.failures = event.get("failures", record.failures + 1)
             record.error = event.get("error")
+            record.not_before = event.get("not_before")
+        elif kind == "attempt_interrupted":
+            record.state = JobState.PENDING
+            record.interruptions = event.get("interruptions",
+                                             record.interruptions + 1)
+            record.crashes = event.get("crashes", record.crashes)
+            record.error = event.get("reason")
+            record.not_before = event.get("not_before")
+        elif kind == "quarantined":
+            record.state = JobState.QUARANTINED
+            record.error = event.get("error")
+            record.crashes = event.get("crashes", record.crashes)
+            record.diagnostics = event.get("diagnostics")
+            record.finished_unix = event.get("time")
         elif kind == "succeeded":
             record.state = JobState.SUCCEEDED
             record.result = event.get("result")

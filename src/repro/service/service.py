@@ -29,10 +29,12 @@ import os
 import time
 from typing import Any, Iterable
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, StorageError
+from repro.core.checkpoint import checkpoint_row
 from repro.service.cache import ResultCache, cache_key, config_fingerprint
 from repro.service.job import JobRecord, JobSpec, JobState
 from repro.service.queue import JOURNAL_NAME, JobQueue
+from repro.service.supervision import SupervisorConfig, write_diagnostics
 from repro.service.worker import WorkerPool, core_budget
 from repro.telemetry.manifest import (MANIFEST_VERSION, json_safe,
                                       sequence_digest, write_manifest)
@@ -60,11 +62,17 @@ class AlignmentService:
             intra-pipeline workers, so J jobs x W pipeline workers never
             exceeds the machine; clamps are counted as
             ``service.cores_clamped``.
+        supervisor: runtime supervision policy
+            (:class:`~repro.service.supervision.SupervisorConfig`) —
+            stall/RSS guards for the pool, crash-loop quarantine
+            threshold, retry backoff and the disk-free watchdog.
+            Defaults to backoff-only supervision.
     """
 
     def __init__(self, root: str | os.PathLike, *, workers: int = 1,
                  resume: bool = False, observer=None, sinks: tuple = (),
-                 poll_seconds: float = 0.02, cpu_count: int | None = None):
+                 poll_seconds: float = 0.02, cpu_count: int | None = None,
+                 supervisor: SupervisorConfig | None = None):
         self.root = os.fspath(root)
         os.makedirs(self.root, exist_ok=True)
         # Telemetry first: queue recovery and the cache report corruption
@@ -83,11 +91,18 @@ class AlignmentService:
                 detail="corrupt journal records skipped during recovery")
         self.cache = ResultCache(os.path.join(self.root, "cache"),
                                  telemetry=self.telemetry)
-        self.pool = WorkerPool(workers)
+        self.supervisor = (supervisor if supervisor is not None
+                           else SupervisorConfig())
+        self.pool = WorkerPool(workers,
+                               stall_seconds=self.supervisor.stall_seconds,
+                               max_rss_bytes=self.supervisor.max_rss_bytes)
+        self.disk_guard = self.supervisor.make_disk_guard(self.root)
         self.cpu_count = cpu_count if cpu_count is not None else (
             os.cpu_count() or 1)
         self.poll_seconds = poll_seconds
         self._inflight_keys: dict[str, str] = {}   # cache key -> job_id
+        self._attempt_log: dict[str, list[dict[str, Any]]] = {}
+        self._disk_evicted = False
 
     # ------------------------------------------------------------- submit
     def submit(self, spec: JobSpec) -> JobRecord:
@@ -170,9 +185,37 @@ class AlignmentService:
         self.telemetry.close()
 
     # ---------------------------------------------------------- internals
+    @property
+    def disk_paused(self) -> bool:
+        """Is dispatch currently paused by the disk-free watchdog?"""
+        return self.disk_guard is not None and self.disk_guard.paused
+
+    def _disk_ok(self) -> bool:
+        """Poll the disk guard; on a low-water trip, pause dispatch and
+        evict the result cache once (derived data — the cheapest bytes
+        to give back).  Running attempts keep running; only *new*
+        dispatches stop until free space recovers past high water."""
+        if self.disk_guard is None:
+            return True
+        was_paused = self.disk_guard.paused
+        paused = self.disk_guard.poll()
+        metrics = self.telemetry.metrics
+        metrics.gauge("supervision.disk_paused").set(1 if paused else 0)
+        if paused and not was_paused:
+            metrics.counter("supervision.disk_pauses").add(1)
+        if paused and not self._disk_evicted:
+            metrics.counter("supervision.cache_evicted").add(
+                self.cache.evict_all())
+            self._disk_evicted = True
+        elif not paused:
+            self._disk_evicted = False
+        return not paused
+
     def _dispatch_round(self) -> int:
         """Fill free worker slots; serve cache hits. Returns jobs finished
         instantly (cached)."""
+        if not self._disk_ok():
+            return 0
         finished = 0
         skip: set[str] = set()
         while self.pool.free_slots > 0:
@@ -207,33 +250,115 @@ class AlignmentService:
 
     def _settle(self, outcome) -> int:
         """Fold one finished attempt into queue/cache/metrics.  Returns 1
-        when the job reached a terminal state, 0 when it was requeued."""
+        when the job reached a terminal state, 0 when it was requeued.
+
+        Failure taxonomy: *honest* failures (a reported exception, a
+        deadline overrun, a memory-limit kill) charge the retry budget
+        and end in FAILED when it runs out.  *Abnormal* endings (a crash
+        without a report, a stall kill) charge the crash-loop ledger
+        instead — they requeue without burning retries until the
+        supervisor's ``crash_loop_threshold``, then the job is
+        QUARANTINED with an on-disk diagnostics bundle.  Both kinds of
+        requeue carry a backoff ``not_before``.
+        """
         record = outcome.record
         metrics = self.telemetry.metrics
         self._inflight_keys.pop(record.cache_key, None)
+        kind = ("ok" if outcome.ok else
+                "timeout" if outcome.timed_out else
+                "stalled" if outcome.stalled else
+                "memory" if outcome.memory_exceeded else
+                "crashed" if outcome.crashed else "error")
         with self.telemetry.span(
                 "service.job", job_id=record.job_id, attempt=record.attempts,
-                outcome="ok" if outcome.ok else
-                        ("timeout" if outcome.timed_out else "error")):
+                outcome=kind):
             if outcome.ok:
                 summary = outcome.summary
                 self.cache.put(record.cache_key, summary)
                 self.queue.mark_succeeded(record, summary)
+                self._attempt_log.pop(record.job_id, None)
                 metrics.counter("service.jobs_succeeded").add(1)
                 metrics.histogram("service.job_seconds").observe(
                     summary["wall_seconds"])
                 if summary.get("resumed_from_row"):
                     metrics.counter("service.resumed_jobs").add(1)
                 return 1
+            self._note_attempt(record, outcome, kind)
             if outcome.timed_out:
                 metrics.counter("service.timeouts").add(1)
+            if outcome.stalled:
+                metrics.counter("supervision.stalls").add(1)
+            if outcome.memory_exceeded:
+                metrics.counter("supervision.memory_kills").add(1)
+            if outcome.stalled or outcome.crashed:
+                metrics.counter("supervision.interrupted").add(1)
+                if record.crashes + 1 >= self.supervisor.crash_loop_threshold:
+                    record.crashes += 1    # this crash tips the ledger
+                    # Set the terminal state before the bundle snapshot so
+                    # triage reads "quarantined", not the in-flight state.
+                    record.state = JobState.QUARANTINED
+                    diagnostics = self._write_diagnostics(record)
+                    self.queue.mark_quarantined(record, outcome.error,
+                                                diagnostics=diagnostics)
+                    metrics.counter("supervision.quarantined").add(1)
+                    return 1
+                self.queue.mark_interrupted(
+                    record, outcome.error,
+                    not_before=self._backoff_for(record))
+                return 0
             if record.failures < record.spec.max_retries:
-                self.queue.mark_retry(record, outcome.error)
+                self.queue.mark_retry(record, outcome.error,
+                                      not_before=self._backoff_for(record))
                 metrics.counter("service.retries").add(1)
                 return 0
             self.queue.mark_failed(record, outcome.error)
             metrics.counter("service.jobs_failed").add(1)
             return 1
+
+    def _backoff_for(self, record: JobRecord) -> float | None:
+        """The requeue hold for the failure that is about to be journaled
+        (``None`` with backoff disabled)."""
+        backoff = self.supervisor.backoff
+        if backoff is None:
+            return None
+        count = record.failures + record.interruptions + 1
+        delay = backoff.delay(record.job_id, count)
+        self.telemetry.metrics.histogram(
+            "supervision.retry_backoff_seconds").observe(delay)
+        return time.time() + delay
+
+    def _note_attempt(self, record: JobRecord, outcome, kind: str) -> None:
+        """Append to the job's bounded attempt log (diagnostics fodder)."""
+        log = self._attempt_log.setdefault(record.job_id, [])
+        log.append({
+            "attempt": record.attempts,
+            "kind": kind,
+            "error": outcome.error,
+            "traceback": outcome.traceback,
+            "last_heartbeat": (list(outcome.progress)
+                               if outcome.progress else None),
+            "time": time.time(),
+        })
+        del log[:-10]
+
+    def _write_diagnostics(self, record: JobRecord) -> str | None:
+        """Best-effort quarantine bundle (a failed write must not block
+        the quarantine transition itself)."""
+        workdir = self.job_workdir(record.job_id)
+        row = None
+        ckpt = os.path.join(workdir, "stage1.ckpt")
+        if os.path.exists(ckpt):
+            try:
+                s0, s1 = record.spec.load_sequences()
+                row = checkpoint_row(ckpt, len(s0), len(s1))
+            except (StorageError, ConfigError, OSError):
+                row = None
+        try:
+            return write_diagnostics(
+                workdir, record, self._attempt_log.get(record.job_id, []),
+                checkpoint_row=row)
+        except OSError:
+            return None
 
     def _key_for(self, record: JobRecord) -> str:
         """Compute (and memoize) the job's cache key.
@@ -268,7 +393,7 @@ class AlignmentService:
         by_state = {state: sum(1 for r in records if r.state == state)
                     for state in (JobState.SUCCEEDED, JobState.CACHED,
                                   JobState.FAILED, JobState.CANCELLED,
-                                  JobState.PENDING)}
+                                  JobState.QUARANTINED, JobState.PENDING)}
         snapshot = self.telemetry.metrics.snapshot()
         return {
             "jobs": len(records),
@@ -277,6 +402,7 @@ class AlignmentService:
             "cached": by_state[JobState.CACHED],
             "failed": by_state[JobState.FAILED],
             "cancelled": by_state[JobState.CANCELLED],
+            "quarantined": by_state[JobState.QUARANTINED],
             "remaining": by_state[JobState.PENDING],
             "retries": snapshot.get("service.retries", 0),
             "timeouts": snapshot.get("service.timeouts", 0),

@@ -1,0 +1,225 @@
+"""Supervision primitives: backoff, resource guards, diagnostics.
+
+The service's runtime-hardening toolbox, policy only — no scheduling
+logic lives here.  :class:`RetryBackoff` turns a failure count into a
+deterministic ``not_before`` delay (seeded jitter, so a journal replay
+reproduces the exact schedule it journals).  :class:`DiskGuard` is the
+low/high-water disk-free watchdog the service polls before dispatching.
+:func:`rss_bytes` reads a child's resident set from ``/proc`` (``None``
+off Linux, so the memory guard degrades to a no-op instead of crashing
+the pool).  :func:`write_diagnostics` produces the on-disk bundle a
+quarantined job leaves behind for triage (``repro jobs diagnose``).
+
+Everything is bundled into one :class:`SupervisorConfig` so the service,
+the dispatcher and the CLI share a single knob surface.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import shutil
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ConfigError
+from repro.telemetry.manifest import json_safe
+
+#: File name of the quarantine diagnostics bundle inside a job workdir.
+DIAGNOSTICS_NAME = "diagnostics.json"
+
+
+@dataclass(frozen=True)
+class RetryBackoff:
+    """Exponential backoff with deterministic seeded jitter.
+
+    ``delay(job_id, failures)`` grows ``base_seconds * factor**(n-1)``
+    up to ``cap_seconds``, then applies ±``jitter`` chosen by
+    ``random.Random(f"{seed}:{job_id}:{n}")`` — the same (seed, job,
+    count) always yields the same delay, so the ``not_before`` a journal
+    records is the one a replay would recompute.
+    """
+
+    base_seconds: float = 0.05
+    factor: float = 2.0
+    cap_seconds: float = 60.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_seconds < 0 or self.cap_seconds < 0:
+            raise ConfigError("backoff seconds must be non-negative")
+        if self.factor < 1.0:
+            raise ConfigError("backoff factor must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError("backoff jitter must be in [0, 1)")
+
+    def delay(self, job_id: str, failures: int) -> float:
+        """Seconds to hold ``job_id`` back after its ``failures``-th
+        abnormal/failed attempt (``failures >= 1``)."""
+        if failures < 1:
+            return 0.0
+        raw = min(self.cap_seconds,
+                  self.base_seconds * self.factor ** (failures - 1))
+        rng = random.Random(f"{self.seed}:{job_id}:{failures}")
+        return raw * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+    def not_before(self, job_id: str, failures: int,
+                   now: float | None = None) -> float:
+        """Absolute eligibility time (unix seconds) for the next attempt."""
+        return (time.time() if now is None else now) \
+            + self.delay(job_id, failures)
+
+
+class DiskGuard:
+    """Low/high-water disk-free watchdog with hysteresis.
+
+    Below ``low_water_bytes`` free the guard trips (``paused`` becomes
+    True); it stays tripped until free space recovers past
+    ``high_water_bytes``, so dispatch does not flap around the mark.
+    ``probe`` is injectable for tests; the default asks
+    :func:`shutil.disk_usage` about ``path``.
+    """
+
+    def __init__(self, path: str | os.PathLike, low_water_bytes: int,
+                 high_water_bytes: int | None = None, *,
+                 probe: Callable[[], int] | None = None):
+        if low_water_bytes <= 0:
+            raise ConfigError("disk guard low water must be positive")
+        high = (2 * low_water_bytes if high_water_bytes is None
+                else high_water_bytes)
+        if high < low_water_bytes:
+            raise ConfigError("disk guard high water must be >= low water")
+        self.path = os.fspath(path)
+        self.low_water_bytes = low_water_bytes
+        self.high_water_bytes = high
+        self._probe = probe if probe is not None else (
+            lambda: shutil.disk_usage(self.path).free)
+        self.paused = False
+        self.free_bytes: int | None = None
+
+    def poll(self) -> bool:
+        """Re-probe free space; returns the (possibly new) paused state."""
+        try:
+            self.free_bytes = int(self._probe())
+        except OSError:
+            return self.paused     # unreadable mount: keep the last state
+        if not self.paused and self.free_bytes < self.low_water_bytes:
+            self.paused = True
+        elif self.paused and self.free_bytes >= self.high_water_bytes:
+            self.paused = False
+        return self.paused
+
+
+def rss_bytes(pid: int) -> int | None:
+    """Resident set size of ``pid`` via ``/proc/<pid>/status``.
+
+    Returns ``None`` when the proc file is unavailable (non-Linux hosts,
+    or the process already exited) — callers must treat that as "guard
+    not applicable", never as zero.
+    """
+    try:
+        with open(f"/proc/{pid}/status", "r", encoding="ascii",
+                  errors="replace") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Every supervision knob in one place (service, dispatcher, CLI).
+
+    Attributes:
+        stall_seconds: default per-attempt progress-stall bound; an
+            attempt whose heartbeat has not *advanced* for this long is
+            killed and requeued as interrupted (no retry-budget charge).
+            ``None`` disables stall detection unless the spec sets its
+            own bound.
+        max_rss_bytes: default per-attempt resident-set ceiling; an
+            over-budget attempt is terminated as a ``memory limit
+            exceeded`` failure.  ``None`` disables the guard.
+        crash_loop_threshold: abnormal attempt endings (crash without a
+            report, stall kill) before a job is quarantined.  Distinct
+            from the honest retry budget: reported failures consume
+            ``max_retries``; crashes/stalls consume this.
+        backoff: the requeue backoff policy; ``None`` restores the old
+            hot-requeue behaviour (immediately eligible again).
+        disk_low_water_bytes: free-space floor below which dispatch
+            pauses, the result cache is evicted and the gateway refuses
+            submissions with 503; ``None`` disables the disk guard.
+        disk_high_water_bytes: free space required to resume dispatch
+            (defaults to twice the low-water mark).
+        disk_probe: injectable free-bytes probe for tests.
+    """
+
+    stall_seconds: float | None = None
+    max_rss_bytes: int | None = None
+    crash_loop_threshold: int = 3
+    backoff: RetryBackoff | None = field(default_factory=RetryBackoff)
+    disk_low_water_bytes: int | None = None
+    disk_high_water_bytes: int | None = None
+    disk_probe: Callable[[], int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.stall_seconds is not None and self.stall_seconds <= 0:
+            raise ConfigError("stall_seconds must be positive")
+        if self.max_rss_bytes is not None and self.max_rss_bytes <= 0:
+            raise ConfigError("max_rss_bytes must be positive")
+        if self.crash_loop_threshold < 1:
+            raise ConfigError("crash_loop_threshold must be positive")
+
+    def make_disk_guard(self, path: str | os.PathLike) -> DiskGuard | None:
+        if self.disk_low_water_bytes is None:
+            return None
+        return DiskGuard(path, self.disk_low_water_bytes,
+                         self.disk_high_water_bytes, probe=self.disk_probe)
+
+
+def write_diagnostics(workdir: str, record, attempt_log: list[dict],
+                      *, checkpoint_row: int | None = None) -> str:
+    """Write the quarantine triage bundle into ``workdir``.
+
+    One plain-JSON file (``diagnostics.json``) carrying everything a
+    human needs without the journal: the spec, every counter, the
+    attempt-by-attempt error/traceback log (including each attempt's
+    last heartbeat), and the checkpoint row the next process would
+    resume from.  Returns the bundle path.
+    """
+    os.makedirs(workdir, exist_ok=True)
+    path = os.path.join(workdir, DIAGNOSTICS_NAME)
+    bundle = {
+        "job_id": record.job_id,
+        "state": record.state,
+        "spec": record.spec.to_json(),
+        "attempts": record.attempts,
+        "failures": record.failures,
+        "interruptions": record.interruptions,
+        "crashes": record.crashes,
+        "error": record.error,
+        "submitted_unix": record.submitted_unix,
+        "written_unix": time.time(),
+        "checkpoint_row": checkpoint_row,
+        "attempt_log": attempt_log,
+        "manifest": os.path.join(workdir, "manifest.json"),
+        "workdir": workdir,
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(json_safe(bundle), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def read_diagnostics(workdir: str) -> dict[str, Any]:
+    """Load a bundle written by :func:`write_diagnostics` (FileNotFoundError
+    when the job was never quarantined)."""
+    with open(os.path.join(workdir, DIAGNOSTICS_NAME), "r",
+              encoding="utf-8") as handle:
+        return json.load(handle)

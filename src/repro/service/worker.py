@@ -9,8 +9,15 @@ attempts, a retry resumes Stage 1 from the last on-disk checkpoint
 instead of re-sweeping from row 0 (the pipeline recovers the SRA rows
 the dead attempt already flushed).
 
-The child reports back over a one-shot pipe: ``{"ok": True, "summary":
-...}`` or ``{"ok": False, "error": ..., "traceback": ...}``.
+The child reports back over a one-shot pipe: throttled heartbeat
+messages (``{"hb": True, "stage": ..., "fraction": ...}``) while it
+works, then one final ``{"ok": True, "summary": ...}`` or ``{"ok":
+False, "error": ..., "traceback": ...}``.  The parent supervises from
+the outside on every :meth:`WorkerPool.poll`: a heartbeat that stops
+*advancing* for ``stall_seconds`` gets the attempt killed as stalled, a
+resident set over ``max_rss_bytes`` (read from ``/proc``) gets it killed
+as a memory-limit failure, and both are independent of the wall-clock
+deadline.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from repro.errors import ConfigError, StorageError
 from repro.core.checkpoint import checkpoint_row
 from repro.core.pipeline import CUDAlign
 from repro.service.job import JobRecord, JobSpec
+from repro.service.supervision import rss_bytes
 from repro.telemetry.manifest import sequence_digest
 from repro.telemetry.observer import PipelineObserver
 
@@ -52,6 +60,101 @@ class FailureInjector(PipelineObserver):
                 f"injected failure at stage1 row >= {self.fail_at_row}")
 
 
+class HangInjector(PipelineObserver):
+    """Hangs Stage 1 forever once its sweep passes a given row.
+
+    At row 0 the hang fires on stage *start*, before the attempt has
+    produced a single heartbeat — the stall detector's worst case (a
+    child blocked before ever writing to its result pipe).  Observers
+    after this one in the chain never run once it trips, so the
+    heartbeat sender goes silent exactly like a genuinely wedged worker.
+    """
+
+    def __init__(self, m: int, hang_at_row: int):
+        self.m = m
+        self.hang_at_row = hang_at_row
+
+    def _hang(self) -> None:
+        while True:             # killed from outside; nothing to clean up
+            time.sleep(3600)
+
+    def on_stage_start(self, stage: str) -> None:
+        if stage == "stage1" and self.hang_at_row <= 0:
+            self._hang()
+
+    def on_stage_progress(self, stage: str, fraction: float) -> None:
+        if stage == "stage1" and fraction * self.m >= self.hang_at_row:
+            self._hang()
+
+
+#: Minimum seconds between heartbeat sends (same stage); stage changes
+#: always go out immediately.
+HEARTBEAT_INTERVAL = 0.05
+
+
+class HeartbeatSender(PipelineObserver):
+    """Streams ``(stage, fraction)`` progress over the attempt's pipe.
+
+    Throttled so a fast sweep doesn't flood the pipe, but a stage change
+    always flushes — the parent's stall detector only resets its timer
+    when the reported progress *advances*, so send rate does not matter
+    for correctness, only for overhead.
+    """
+
+    def __init__(self, conn):
+        self.conn = conn
+        self._stage: str | None = None
+        self._sent = 0.0
+
+    def _send(self, stage: str, fraction: float) -> None:
+        try:
+            self.conn.send({"hb": True, "stage": stage,
+                            "fraction": fraction})
+        except (BrokenPipeError, OSError):
+            pass    # parent gone; the attempt is being torn down anyway
+        self._sent = time.monotonic()
+
+    def on_stage_start(self, stage: str) -> None:
+        self._stage = stage
+        self._send(stage, 0.0)
+
+    def on_stage_progress(self, stage: str, fraction: float) -> None:
+        if (stage != self._stage or
+                time.monotonic() - self._sent >= HEARTBEAT_INTERVAL):
+            self._stage = stage
+            self._send(stage, fraction)
+
+    def on_stage_end(self, stage: str, result) -> None:
+        self._send(stage, 1.0)
+
+
+class ObserverChain(PipelineObserver):
+    """Fans each hook out to several observers, in order.
+
+    Order matters for chaos tests: an injector placed *before* the
+    heartbeat sender can hang or raise before any heartbeat escapes.
+    """
+
+    def __init__(self, observers):
+        self.observers = [obs for obs in observers if obs is not None]
+
+    def on_stage_start(self, stage: str) -> None:
+        for obs in self.observers:
+            obs.on_stage_start(stage)
+
+    def on_stage_progress(self, stage: str, fraction: float) -> None:
+        for obs in self.observers:
+            obs.on_stage_progress(stage, fraction)
+
+    def on_stage_end(self, stage: str, result) -> None:
+        for obs in self.observers:
+            obs.on_stage_end(stage, result)
+
+    def on_metric(self, name: str, value) -> None:
+        for obs in self.observers:
+            obs.on_metric(name, value)
+
+
 def core_budget(cpu_count: int, job_slots: int) -> int:
     """Per-job core allowance so J jobs x W workers never oversubscribe.
 
@@ -64,24 +167,33 @@ def core_budget(cpu_count: int, job_slots: int) -> int:
 
 
 def execute_job(spec: JobSpec, workdir: str, attempt: int,
-                core_budget: int | None = None) -> dict[str, Any]:
+                core_budget: int | None = None,
+                observer: PipelineObserver | None = None) -> dict[str, Any]:
     """Run one attempt of a job in-process; returns the result summary.
 
     This is the body every worker process runs, importable so tests and
-    benchmarks can call it inline.  The failure hook only arms on the
-    first attempt — the retry must succeed to prove the resume path.
+    benchmarks can call it inline.  The chaos hooks only arm on the
+    first attempt(s) — the retry must succeed to prove the resume path.
 
     ``core_budget`` caps the pipeline's intra-job parallelism (the
     ``workers`` knob) so concurrent jobs don't oversubscribe the host;
-    ``None`` means uncapped (inline callers).
+    ``None`` means uncapped (inline callers).  ``observer`` is chained
+    *after* the chaos injectors (worker children pass the heartbeat
+    sender here, so an injected hang silences the heartbeat too).
     """
     s0, s1 = spec.load_sequences()
     config = spec.pipeline_config(n=len(s1))
     if core_budget is not None and config.workers > core_budget:
         config = replace(config, workers=core_budget)
-    observer = None
+    chain: list[PipelineObserver] = []
     if spec.inject_failure_row is not None and attempt <= 1:
-        observer = FailureInjector(len(s0), spec.inject_failure_row)
+        chain.append(FailureInjector(len(s0), spec.inject_failure_row))
+    if spec.inject_hang_row is not None and attempt <= 1:
+        chain.append(HangInjector(len(s0), spec.inject_hang_row))
+    if observer is not None:
+        chain.append(observer)
+    observer = ObserverChain(chain) if len(chain) > 1 else (
+        chain[0] if chain else None)
     resumes_from = None
     ckpt = os.path.join(workdir, "stage1.ckpt")
     if os.path.exists(ckpt):
@@ -117,10 +229,15 @@ def execute_job(spec: JobSpec, workdir: str, attempt: int,
 
 def _job_main(conn, spec_json: dict[str, Any], workdir: str,
               attempt: int, core_budget: int | None = None) -> None:
-    """Child-process entry point."""
+    """Child-process entry point: heartbeats while running, one final
+    report, and the crash-loop chaos hook (dies without reporting)."""
     try:
-        summary = execute_job(JobSpec.from_json(spec_json), workdir, attempt,
-                              core_budget=core_budget)
+        spec = JobSpec.from_json(spec_json)
+        if attempt <= spec.inject_crash_attempts:
+            os._exit(66)    # crash injection: no report, no cleanup
+        summary = execute_job(spec, workdir, attempt,
+                              core_budget=core_budget,
+                              observer=HeartbeatSender(conn))
         conn.send({"ok": True, "summary": summary})
     except BaseException as exc:  # report everything; the parent decides
         conn.send({"ok": False,
@@ -138,6 +255,11 @@ class Attempt:
     process: Any
     conn: Any
     started: float = field(default_factory=time.monotonic)
+    # Supervision state, maintained by WorkerPool.poll():
+    progress: tuple[str, float] | None = None   # last *advanced* heartbeat
+    last_beat: float = field(default_factory=time.monotonic)
+    last_rss: int | None = None
+    rss_checked: float = 0.0
 
     @property
     def deadline_exceeded(self) -> bool:
@@ -145,26 +267,74 @@ class Attempt:
         return (deadline is not None and
                 time.monotonic() - self.started > deadline)
 
+    def stall_exceeded(self, default: float | None) -> bool:
+        """Has progress stopped advancing past the stall bound?
+
+        The per-spec bound wins; ``default`` is the pool-wide fallback;
+        ``None`` for both disables stall detection for this attempt.
+        The timer resets only when a heartbeat *advances* (stage change
+        or larger fraction) — a child re-sending the same position is as
+        stalled as a silent one.
+        """
+        bound = self.record.spec.stall_seconds
+        if bound is None:
+            bound = default
+        return bound is not None and time.monotonic() - self.last_beat > bound
+
+    def rss_limit(self, default: int | None) -> int | None:
+        limit = self.record.spec.max_rss_bytes
+        return default if limit is None else limit
+
+    def note_heartbeat(self, stage: str, fraction: float) -> None:
+        beat = (stage, fraction)
+        if self.progress is None or beat != self.progress:
+            self.progress = beat
+            self.last_beat = time.monotonic()
+
 
 @dataclass(frozen=True)
 class Finished:
-    """Outcome of one completed (or killed) attempt."""
+    """Outcome of one completed (or killed) attempt.
+
+    Exactly one of the flags explains a failure: ``timed_out`` (deadline
+    kill), ``stalled`` (heartbeat stopped advancing), ``memory_exceeded``
+    (RSS ceiling kill) or ``crashed`` (died without reporting); a plain
+    reported failure sets none of them.  ``progress`` is the attempt's
+    last advanced heartbeat (diagnostics).
+    """
 
     record: JobRecord
     ok: bool
     summary: dict[str, Any] | None = None
     error: str | None = None
     timed_out: bool = False
+    stalled: bool = False
+    crashed: bool = False
+    memory_exceeded: bool = False
+    traceback: str | None = None
+    progress: tuple[str, float] | None = None
+
+
+#: Seconds between /proc RSS probes per attempt (poll-side throttle).
+RSS_POLL_INTERVAL = 0.1
 
 
 class WorkerPool:
-    """Up to ``workers`` concurrent job processes."""
+    """Up to ``workers`` concurrent job processes.
 
-    def __init__(self, workers: int):
+    ``stall_seconds`` and ``max_rss_bytes`` are pool-wide supervision
+    defaults; a spec's own ``stall_seconds``/``max_rss_bytes`` override
+    them per job.  ``None`` disables the respective guard.
+    """
+
+    def __init__(self, workers: int, stall_seconds: float | None = None,
+                 max_rss_bytes: int | None = None):
         # Central worker-count policy: same rule as PipelineConfig.workers.
         if workers < 1:
             raise ConfigError("workers must be positive")
         self.workers = workers
+        self.stall_seconds = stall_seconds
+        self.max_rss_bytes = max_rss_bytes
         self._running: list[Attempt] = []
 
     @property
@@ -196,41 +366,105 @@ class WorkerPool:
         self._running.append(Attempt(record=record, process=process,
                                      conn=parent_conn))
 
+    @staticmethod
+    def _kill(attempt: Attempt) -> None:
+        """Terminate with escalation: TERM, a grace join, then KILL."""
+        attempt.process.terminate()
+        attempt.process.join(1.0)
+        if attempt.process.is_alive():
+            attempt.process.kill()
+            attempt.process.join()
+
+    @staticmethod
+    def _drain(attempt: Attempt) -> tuple[dict[str, Any] | None, bool]:
+        """Consume pipe messages: heartbeats update the attempt's
+        supervision state; returns ``(final_message, pipe_broken)``."""
+        while True:
+            try:
+                if not attempt.conn.poll():
+                    return None, False
+                message = attempt.conn.recv()
+            except (EOFError, OSError):
+                # The child died between poll() and recv(), or closed the
+                # pipe without a final report (os._exit, SIGKILL).
+                return None, True
+            if message.get("hb"):
+                attempt.note_heartbeat(message["stage"], message["fraction"])
+                continue
+            return message, False
+
     def poll(self) -> list[Finished]:
-        """Harvest finished attempts; kill any past their deadline."""
+        """Harvest finished attempts; kill any past their supervision
+        envelope (deadline, stall bound, RSS ceiling)."""
         done: list[Finished] = []
         still: list[Attempt] = []
+        now = time.monotonic()
         for attempt in self._running:
-            if attempt.conn.poll():
-                message = attempt.conn.recv()
+            message, broken = self._drain(attempt)
+            if message is not None:
                 attempt.process.join()
                 attempt.conn.close()
                 if message["ok"]:
                     done.append(Finished(attempt.record, True,
-                                         summary=message["summary"]))
+                                         summary=message["summary"],
+                                         progress=attempt.progress))
                 else:
                     done.append(Finished(attempt.record, False,
-                                         error=message["error"]))
-            elif not attempt.process.is_alive():
-                # Died without reporting (e.g. SIGKILL, OOM).
+                                         error=message["error"],
+                                         traceback=message.get("traceback"),
+                                         progress=attempt.progress))
+            elif broken or not attempt.process.is_alive():
+                # Died without reporting (e.g. SIGKILL, OOM, os._exit).
                 attempt.process.join()
                 attempt.conn.close()
                 done.append(Finished(
-                    attempt.record, False,
+                    attempt.record, False, crashed=True,
+                    progress=attempt.progress,
                     error=f"worker died with exit code "
                           f"{attempt.process.exitcode}"))
             elif attempt.deadline_exceeded:
-                attempt.process.terminate()
-                attempt.process.join()
+                self._kill(attempt)
                 attempt.conn.close()
                 done.append(Finished(
                     attempt.record, False, timed_out=True,
+                    progress=attempt.progress,
                     error=f"deadline of "
                           f"{attempt.record.spec.deadline_seconds}s exceeded"))
+            elif attempt.stall_exceeded(self.stall_seconds):
+                self._kill(attempt)
+                attempt.conn.close()
+                at = (f"{attempt.progress[0]} {attempt.progress[1]:.3f}"
+                      if attempt.progress else "before first heartbeat")
+                done.append(Finished(
+                    attempt.record, False, stalled=True,
+                    progress=attempt.progress,
+                    error=f"stalled: no progress within "
+                          f"{attempt.record.spec.stall_seconds or self.stall_seconds}s "
+                          f"(last at {at})"))
+            elif self._over_rss(attempt, now):
+                self._kill(attempt)
+                attempt.conn.close()
+                done.append(Finished(
+                    attempt.record, False, memory_exceeded=True,
+                    progress=attempt.progress,
+                    error=f"memory limit exceeded: rss {attempt.last_rss} "
+                          f"> {attempt.rss_limit(self.max_rss_bytes)} bytes"))
             else:
                 still.append(attempt)
         self._running = still
         return done
+
+    def _over_rss(self, attempt: Attempt, now: float) -> bool:
+        """Probe /proc for the attempt's RSS, throttled; ``False`` when
+        the guard is off or /proc is unavailable (non-Linux)."""
+        limit = attempt.rss_limit(self.max_rss_bytes)
+        if limit is None or now - attempt.rss_checked < RSS_POLL_INTERVAL:
+            return False
+        attempt.rss_checked = now
+        rss = rss_bytes(attempt.process.pid)
+        if rss is not None:
+            attempt.last_rss = rss
+        return rss is not None and rss > limit
 
     def cancel(self, job_id: str) -> bool:
         """Terminate the in-flight attempt of ``job_id``, if any.
