@@ -1,0 +1,255 @@
+"""MCUPS per kernel backend per workload — the tracked perf trajectory.
+
+The paper's whole claim is kernel throughput in linear space, so the
+repo keeps an honest ledger of it: this script sweeps every registered
+kernel backend (:mod:`repro.align.kernels`) over Stage-1-shaped local
+sweeps and writes ``BENCH_backends.json``.
+
+Two destinations, one schema:
+
+* ``benchmarks/out/BENCH_backends.json`` — scratch, gitignored, written
+  on every run.
+* ``benchmarks/trajectory/BENCH_backends.json`` — the **tracked**
+  ledger, written only with ``--promote``; committing it is what makes
+  the MCUPS trajectory visible across PRs (`git log -p` on the file).
+
+Honesty rules, enforced:
+
+* backend names come from the registry — asking for a name the registry
+  does not know is an error, and :func:`validate_ledger` rejects any
+  ledger mentioning one (CI runs it against the committed trajectory
+  file, so schema or registry drift fails the build);
+* every backend's sweep is checked bit-identical to ``rowscan`` (best
+  score and final row) before its timing is reported;
+* timings are min-of-``--repeats`` wall clock on this host, whatever
+  they turn out to be — the ledger records losses too (on a host NumPy
+  build, the anti-diagonal schedule's per-diagonal dispatch usually
+  *loses* to rowscan's per-row scan; it exists because it is the GPU
+  schedule, and the ledger proves the observables match).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py            # scratch
+    PYTHONPATH=src python benchmarks/bench_backends.py --promote  # + tracked
+    PYTHONPATH=src python benchmarks/bench_backends.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+if __package__ in (None, ""):
+    sys.path.insert(0, str(BENCH_DIR.parent / "src"))
+
+import numpy as np
+
+from repro.align.kernels import backend_names, get_backend
+from repro.errors import ConfigError
+from repro.parallel import WavefrontExecutor
+from repro.sequences.synth import random_dna
+
+SCHEMA_VERSION = 1
+OUT_PATH = BENCH_DIR / "out" / "BENCH_backends.json"
+TRAJECTORY_PATH = BENCH_DIR / "trajectory" / "BENCH_backends.json"
+
+DEFAULT_WORKLOADS = ("512x512", "1024x1024", "2048x2048")
+QUICK_WORKLOADS = ("256x256",)
+
+
+def _parse_workload(spec: str) -> tuple[int, int]:
+    try:
+        m, n = (int(part) for part in spec.lower().split("x"))
+    except ValueError:
+        raise ConfigError(f"workload must look like 2048x2048, got {spec!r}")
+    if m < 1 or n < 1:
+        raise ConfigError(f"workload sides must be positive, got {spec!r}")
+    return m, n
+
+
+def _sweep_once(backend, codes0, codes1, scheme, executor=None):
+    sweep = backend.make(codes0, codes1, scheme, executor=executor,
+                         local=True, track_best=True)
+    start = time.perf_counter()
+    sweep.run()
+    seconds = time.perf_counter() - start
+    result = (int(sweep.best), sweep.best_pos, sweep.H.copy())
+    close = getattr(sweep, "close", None)
+    if close is not None:
+        close()
+    return seconds, result
+
+
+def measure_workload(spec: str, backends: list[str], scheme, *,
+                     workers: int, repeats: int, seed: int = 0) -> dict:
+    """Time every backend on one workload; returns its ledger entry."""
+    m, n = _parse_workload(spec)
+    rng = np.random.default_rng(seed)
+    codes0 = random_dna(m, rng, "A").codes
+    codes1 = random_dna(n, rng, "B").codes
+    entry: dict = {"cells": m * n, "backends": {}}
+    reference = None
+    executor = None
+    try:
+        for name in backends:
+            backend = get_backend(name)
+            if not backend.serial and executor is None:
+                executor = WavefrontExecutor(workers)
+            best = None
+            for _ in range(max(1, repeats)):
+                seconds, result = _sweep_once(
+                    backend, codes0, codes1, scheme,
+                    executor=None if backend.serial else executor)
+                best = seconds if best is None else min(best, seconds)
+            if reference is None:
+                reference = result
+                entry["best_score"] = result[0]
+            else:
+                assert result[0] == reference[0], (name, spec, "best score")
+                assert result[1] == reference[1], (name, spec, "best pos")
+                np.testing.assert_array_equal(result[2], reference[2],
+                                              err_msg=f"{name} {spec} H row")
+            entry["backends"][name] = {
+                "seconds": best,
+                "mcups": (m * n) / best / 1e6,
+            }
+    finally:
+        if executor is not None:
+            executor.close()
+    base = entry["backends"].get("rowscan")
+    for stats in entry["backends"].values():
+        stats["speedup_vs_rowscan"] = (
+            base["seconds"] / stats["seconds"] if base else None)
+    return entry
+
+
+def build_ledger(workloads, backends, *, workers: int, repeats: int) -> dict:
+    from repro.align.scoring import PAPER_SCHEME
+    known = backend_names()
+    unknown = [b for b in backends if b not in known]
+    if unknown:
+        raise ConfigError(
+            f"unknown backends {unknown}; the registry knows {list(known)} — "
+            f"the ledger refuses to report names the code cannot back")
+    ledger: dict = {
+        "schema": SCHEMA_VERSION,
+        "kind": "BENCH_backends",
+        "registry": list(known),
+        "cpu_count": os.cpu_count(),
+        "wavefront_workers": workers,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "workloads": {},
+        "wins": {name: [] for name in backends},
+    }
+    for spec in workloads:
+        entry = measure_workload(spec, list(backends), PAPER_SCHEME,
+                                 workers=workers, repeats=repeats)
+        ledger["workloads"][spec] = entry
+        fastest = min(entry["backends"],
+                      key=lambda b: entry["backends"][b]["seconds"])
+        ledger["wins"][fastest].append(spec)
+    return ledger
+
+
+def validate_ledger(ledger: dict) -> None:
+    """Reject a ledger whose schema or backend names drifted from the
+    code.  Raises ``ValueError`` with the first problem found."""
+    if ledger.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"ledger schema {ledger.get('schema')!r} != {SCHEMA_VERSION}")
+    if ledger.get("kind") != "BENCH_backends":
+        raise ValueError(f"ledger kind {ledger.get('kind')!r}")
+    known = set(backend_names())
+    recorded = ledger.get("registry")
+    if not isinstance(recorded, list) or set(recorded) - known:
+        raise ValueError(
+            f"ledger registry {recorded!r} names backends the code does not "
+            f"register ({sorted(known)})")
+    workloads = ledger.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        raise ValueError("ledger has no workloads")
+    for spec, entry in workloads.items():
+        _parse_workload(spec)
+        for key in ("cells", "best_score", "backends"):
+            if key not in entry:
+                raise ValueError(f"workload {spec}: missing {key!r}")
+        if not entry["backends"]:
+            raise ValueError(f"workload {spec}: no backends")
+        for name, stats in entry["backends"].items():
+            if name not in known:
+                raise ValueError(
+                    f"workload {spec} reports unregistered backend {name!r}")
+            for key in ("seconds", "mcups", "speedup_vs_rowscan"):
+                if not isinstance(stats.get(key), (int, float)):
+                    raise ValueError(f"{spec}/{name}: bad {key!r}")
+            if stats["seconds"] <= 0 or stats["mcups"] <= 0:
+                raise ValueError(f"{spec}/{name}: non-positive timing")
+    for name in ledger.get("wins", {}):
+        if name not in known:
+            raise ValueError(f"wins reports unregistered backend {name!r}")
+
+
+def render(ledger: dict) -> str:
+    lines = [f"kernel backend MCUPS (cpu_count={ledger['cpu_count']}, "
+             f"wavefront workers={ledger['wavefront_workers']})"]
+    for spec, entry in ledger["workloads"].items():
+        lines.append(f"  {spec} (score {entry['best_score']}):")
+        for name, stats in sorted(entry["backends"].items()):
+            lines.append(f"    {name:<10} {stats['mcups']:9.1f} MCUPS  "
+                         f"({stats['speedup_vs_rowscan']:.2f}x rowscan)")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--backends", nargs="+", default=None,
+                        help="backend names to measure (default: every "
+                             "registered backend)")
+    parser.add_argument("--workloads", nargs="+", default=None,
+                        metavar="MxN", help="matrix sizes, e.g. 2048x2048")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="wavefront pool size")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats (min wall clock wins)")
+    parser.add_argument("--quick", action="store_true",
+                        help="one small workload, one repeat (CI smoke)")
+    parser.add_argument("--out", default=None,
+                        help=f"scratch output path (default {OUT_PATH})")
+    parser.add_argument("--promote", action="store_true",
+                        help="also write the tracked trajectory ledger "
+                             f"({TRAJECTORY_PATH})")
+    args = parser.parse_args(argv)
+
+    backends = args.backends or list(backend_names())
+    if args.quick:
+        workloads = args.workloads or list(QUICK_WORKLOADS)
+        repeats = 1
+    else:
+        workloads = args.workloads or list(DEFAULT_WORKLOADS)
+        repeats = args.repeats
+    ledger = build_ledger(workloads, backends,
+                          workers=args.workers, repeats=repeats)
+    validate_ledger(ledger)
+
+    out_path = Path(args.out) if args.out else OUT_PATH
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(ledger, indent=2, sort_keys=True) + "\n")
+    print(render(ledger))
+    print(f"wrote {out_path}")
+    if args.promote:
+        TRAJECTORY_PATH.parent.mkdir(parents=True, exist_ok=True)
+        TRAJECTORY_PATH.write_text(
+            json.dumps(ledger, indent=2, sort_keys=True) + "\n")
+        print(f"promoted {TRAJECTORY_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

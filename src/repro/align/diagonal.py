@@ -1,0 +1,254 @@
+"""Anti-diagonal vectorized sweep (the GPU schedule on host arrays).
+
+:class:`DiagonalSweeper` subclasses the serial kernel and overrides
+exactly one method — ``_advance`` — replacing the row loop with the
+wavefront order GPU kernels use: every cell on anti-diagonal
+``t = i + j`` depends only on diagonals ``t - 1`` (left, up) and
+``t - 2`` (the substitution diagonal), so all of diagonal ``t`` computes
+as one vector operation.  Memory stays linear: two H diagonals, one F
+diagonal, and one carried prefix-max per window row.
+
+Bit-identity with ``rowscan`` is engineered around the E recurrence.
+The serial kernel does *not* compute the textbook
+``E(i,j) = max(E(i,j-1) - G_ext, H(i,j-1) - G_first)``; it computes the
+prefix-max scan
+
+    E(i,j) = max_{k<j} ( X(i,k) + k*G_ext )  -  G_first - (j-1)*G_ext
+
+over ``X`` (every non-E source of H), which differs **bitwise** from the
+textbook form in sentinel (-inf) regions — e.g. a forced sweep's row
+boundary, where the scan yields ``F(i,0) - G_first`` while the textbook
+recurrence would ramp ``-inf - G_ext`` down.  The diagonal schedule
+therefore carries, per window row ``i``, the running scan maximum
+``T(i) = max_{k<=c} (X(i,k) + k*G_ext)`` across diagonals, reading it
+*before* folding in the current column — exactly the serial scan's
+prefix semantics, in the same int32 arithmetic (modular identities make
+the regrouped subtraction bit-equal).
+
+Column-0 boundary values come from :func:`~repro.align.kernels.
+boundary_column` in closed form, including the unclamped ``X`` ramp that
+seeds the scan.  Query-profile precomputation is inherited: the per-base
+substitution LUT built once by :class:`RowSweeper` is gathered per
+diagonal, never rebuilt per row.
+
+Everything else the stages rely on is inherited unchanged —
+``state_dict``/``load_state`` (checkpoints are executor- and
+kernel-agnostic), ``saved``/``tap_H``/``tap_E``/``watch_hit``/``best``
+surfaces, and the ``advance(nrows)`` striping contract.  Best/watch
+folds replicate the serial row loop's tie-breaks: strictly-greater best
+updates in row-major order with argmax-first columns, first watch hit in
+(row, column) order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import NEG_INF, SCORE_DTYPE
+from repro.align.kernels import KernelBackend, boundary_column, register_backend
+from repro.align.rowscan import RowSweeper
+
+
+class DiagonalSweeper(RowSweeper):
+    """Anti-diagonal schedule behind the serial sweeper's exact interface.
+
+    Accepts everything :class:`RowSweeper` accepts — all boundary
+    regimes, interior taps, saved rows, best/watch tracking — and
+    produces bit-identical observables.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Closed-form column-0 boundary for rows 1..m: clamped H for the
+        # diagonal term and tracking, unclamped X to seed the E scan,
+        # and the stored F (the serial kernel pins F(i,0) to -inf on
+        # local sweeps, keeps the unclamped ramp otherwise).
+        bnd_H, _bnd_E, bnd_X = boundary_column(
+            self.m, self.scheme, local=self.local,
+            start_gap=self.start_gap, forced=self.forced)
+        self._bnd_H = bnd_H
+        self._bnd_X = bnd_X
+        self._bnd_F = (np.full(self.m, NEG_INF, dtype=SCORE_DTYPE)
+                       if self.local else bnd_X)
+
+    # ------------------------------------------------------------------
+    def _advance(self, nrows: int) -> int:
+        i0, stop = self.i, self.i + nrows
+        R, n = nrows, self.n
+        scheme = self.scheme
+        gext = SCORE_DTYPE(scheme.gap_ext)
+        gfirst = SCORE_DTYPE(scheme.gap_first)
+        ext_ramp = self._ext_ramp
+        local = self.local
+
+        # Window boundaries: row i0's state feeds slot 0; the column-0
+        # closed form feeds slot t.  (self.H/E/F are only rewritten after
+        # the diagonal loop, so plain references are safe here.)
+        top_H, top_F = self.H, self.F
+        bH = self._bnd_H[i0:stop]
+        bX = self._bnd_X[i0:stop]
+        bF = self._bnd_F[i0:stop]
+        cw = self.codes0[i0:stop]
+        sub_lut = self._sub_lut
+
+        # Rotating diagonal buffers, indexed by window row offset r
+        # (1..R); slot 0 carries the window-top row along the diagonal.
+        # H needs two diagonals back (same parity → two buffers rotate);
+        # F needs one (updated in place after its reads materialize).
+        Hm2 = np.full(R + 1, NEG_INF, dtype=SCORE_DTYPE)
+        Hm1 = np.full(R + 1, NEG_INF, dtype=SCORE_DTYPE)
+        Fm1 = np.full(R + 1, NEG_INF, dtype=SCORE_DTYPE)
+        Hm2[0] = top_H[0]
+        Hm1[0] = top_H[1]
+        Fm1[0] = top_F[1]
+        Hm1[1] = bH[0]
+        Fm1[1] = bF[0]
+        # Carried E-scan state: T[r] = max_{k<=c}(X(r,k) + k*G_ext) so
+        # far; seeded with the boundary X (column 0, ramp term zero).
+        T = np.empty(R + 1, dtype=SCORE_DTYPE)
+        T[1:] = bX
+
+        track = self.track_best
+        wval = self.watch_value if self.watch_hit is None else None
+        if track or wval is not None:
+            row_best = np.empty(R + 1, dtype=np.int64)
+            row_best[1:] = bH.astype(np.int64)
+            row_argcol = np.zeros(R + 1, dtype=np.int64)
+            row_hitcol = np.full(R + 1, -1, dtype=np.int64)
+            if wval is not None:
+                row_hitcol[1:][bH == wval] = 0
+
+        # Scatter targets: the window's final row (H, E, F — it becomes
+        # self.H/E/F) and every saved row inside the window (H, F).
+        final_H = np.empty(n + 1, dtype=SCORE_DTYPE)
+        final_E = np.empty(n + 1, dtype=SCORE_DTYPE)
+        final_F = np.empty(n + 1, dtype=SCORE_DTYPE)
+        final_H[0] = bH[R - 1]
+        final_E[0] = NEG_INF  # the serial kernel pins E(i, 0) every row
+        final_F[0] = bF[R - 1]
+        captures: list[tuple[int, np.ndarray, np.ndarray | None,
+                             np.ndarray | None]] = [
+            (R, final_H, final_F, final_E)]
+        for r_abs in sorted(self._save_rows):
+            if i0 < r_abs < stop:
+                h_buf = np.empty(n + 1, dtype=SCORE_DTYPE)
+                f_buf = np.empty(n + 1, dtype=SCORE_DTYPE)
+                h_buf[0] = bH[r_abs - i0 - 1]
+                f_buf[0] = bF[r_abs - i0 - 1]
+                captures.append((r_abs - i0, h_buf, f_buf, None))
+
+        taps = [] if self._taps is None else list(enumerate(self._taps.tolist()))
+        for k, ct in taps:
+            if ct == 0:  # column 0 never lies on a computed diagonal
+                self.tap_H[i0 + 1:stop + 1, k] = bH
+                self.tap_E[i0 + 1:stop + 1, k] = NEG_INF
+        taps = [(k, ct) for k, ct in taps if ct >= 1]
+
+        r_all = np.arange(R + 1, dtype=np.int64)
+        for t in range(2, R + n + 1):
+            lo = t - n if t - n > 1 else 1
+            hi = R if t - 1 > R else t - 1
+            sl = slice(lo, hi + 1)
+            slm = slice(lo - 1, hi)
+            r_vec = r_all[sl]
+            col_idx = (t - 1) - r_vec          # = c - 1 per active row
+
+            Fd = np.maximum(Fm1[slm] - gext, Hm1[slm] - gfirst)
+            X = Hm2[slm] + sub_lut[cw[lo - 1:hi], col_idx]
+            np.maximum(X, Fd, out=X)
+            if local:
+                np.maximum(X, 0, out=X)
+            Tr = T[sl]
+            # E reads the scan *before* this column's X folds in; the
+            # reversed ramp slices are views of ext_ramp at c-1 / c.
+            Ed = Tr - gfirst - ext_ramp[t - 1 - hi:t - lo][::-1]
+            Hd = np.maximum(X, Ed)
+            np.maximum(Tr, X + ext_ramp[t - hi:t - lo + 1][::-1], out=Tr)
+
+            if track or wval is not None:
+                cvec = col_idx + 1
+                if track:
+                    rb = row_best[sl]
+                    mask = Hd > rb
+                    if mask.any():
+                        rb[mask] = Hd[mask]
+                        row_argcol[sl][mask] = cvec[mask]
+                if wval is not None:
+                    wmask = (row_hitcol[sl] < 0) & (Hd == wval)
+                    if wmask.any():
+                        row_hitcol[sl][wmask] = cvec[wmask]
+
+            for r_off, h_buf, f_buf, e_buf in captures:
+                if lo <= r_off <= hi:
+                    c = t - r_off
+                    h_buf[c] = Hd[r_off - lo]
+                    if f_buf is not None:
+                        f_buf[c] = Fd[r_off - lo]
+                    if e_buf is not None:
+                        e_buf[c] = Ed[r_off - lo]
+            for k, ct in taps:
+                r_off = t - ct
+                if lo <= r_off <= hi:
+                    self.tap_H[i0 + r_off, k] = Hd[r_off - lo]
+                    self.tap_E[i0 + r_off, k] = Ed[r_off - lo]
+
+            # Rotate: the written buffer becomes diagonal t, old Hm1
+            # becomes the two-back diagonal; feed the boundary slots.
+            Hnew = Hm2
+            Hnew[sl] = Hd
+            Fm1[sl] = Fd
+            if t <= R:
+                Hnew[t] = bH[t - 1]
+                Fm1[t] = bF[t - 1]
+            if t <= n:
+                Hnew[0] = top_H[t]
+                Fm1[0] = top_F[t]
+            Hm2, Hm1 = Hm1, Hnew
+
+        # Fold per-row results in row-major order, exactly as the serial
+        # loop would have: strictly-greater best updates (so the first
+        # improving row wins and argmax-first columns are preserved),
+        # first watch hit in (row, column) order.
+        if track:
+            rb = row_best[1:]
+            prior = np.empty(R, dtype=np.int64)
+            prior[0] = self.best
+            if R > 1:
+                np.maximum(np.maximum.accumulate(rb[:-1]), self.best,
+                           out=prior[1:])
+            improved = np.flatnonzero(rb > prior)
+            if improved.size:
+                last = int(improved[-1])
+                self.best = int(rb[last])
+                self.best_pos = (i0 + last + 1, int(row_argcol[last + 1]))
+        if wval is not None:
+            hit_rows = np.flatnonzero(row_hitcol[1:] >= 0)
+            if hit_rows.size:
+                r_off = int(hit_rows[0]) + 1
+                self.watch_hit = (i0 + r_off, int(row_hitcol[r_off]))
+
+        for r_off, h_buf, f_buf, _e_buf in captures:
+            r_abs = i0 + r_off
+            if r_abs in self._save_rows:
+                # The final row's buffers become self.H/F below; saved
+                # rows own their copies, as the serial kernel's do.
+                if r_off == R:
+                    self.saved[r_abs] = (h_buf.copy(), f_buf.copy())
+                else:
+                    self.saved[r_abs] = (h_buf, f_buf)
+        self.H[:] = final_H
+        self.E[:] = final_E
+        self.F[:] = final_F
+        self.i = stop
+        self.cells += nrows * self.n
+        return nrows
+
+
+register_backend(KernelBackend(
+    name="diagonal",
+    factory=DiagonalSweeper,
+    serial=True,
+    interior_taps=True,
+    description="anti-diagonal vectorization of the same recurrence "
+                "(the GPU wavefront schedule on host arrays)"))
+

@@ -93,6 +93,8 @@ class RowSweeper:
             raise ConfigError("local sweeps cannot carry a boundary gap state")
         if forced and start_gap == TYPE_MATCH:
             raise ConfigError("forced sweeps need a gap-typed start_gap")
+        self.start_gap = start_gap
+        self.forced = bool(forced)
         self.m = int(self.codes0.size)
         self.n = int(self.codes1.size)
         self.i = 0  # rows completed (0 = only the boundary row exists)

@@ -87,6 +87,7 @@ def run_stage1(s0: Sequence, s1: Sequence, config: PipelineConfig,
     start = time.perf_counter()
     with tel.span("stage1", m=m, n=n, special_rows=len(rows)) as span:
         sweep = make_sweeper(s0.codes, s1.codes, config.scheme,
+                             kernel=config.kernel,
                              executor=executor, metrics=tel.metrics,
                              local=True, track_best=True, save_rows=rows,
                              tracer=tel.tracer)

@@ -52,3 +52,36 @@ SCHEMES = [
     ScoringScheme(match=1, mismatch=-2, gap_first=2, gap_ext=2),
     ScoringScheme(match=5, mismatch=0, gap_first=8, gap_ext=1),
 ]
+
+
+def assert_sweeps_identical(reference, other) -> None:
+    """Assert two finished sweeps agree on *every* observable.
+
+    This is the kernel-backend conformance contract (docs/API.md "Kernel
+    backends"): H/E/F rows, best cell, watch hit, cell count, saved
+    rows, taps, and the checkpoint ``state_dict`` must be bit-identical
+    — not merely score-equal — across backends.
+    """
+    np.testing.assert_array_equal(reference.H, other.H)
+    np.testing.assert_array_equal(reference.E, other.E)
+    np.testing.assert_array_equal(reference.F, other.F)
+    assert reference.best == other.best
+    assert reference.best_pos == other.best_pos
+    assert reference.watch_hit == other.watch_hit
+    assert reference.cells == other.cells
+    assert sorted(reference.saved) == sorted(other.saved)
+    for row in reference.saved:
+        np.testing.assert_array_equal(reference.saved[row][0],
+                                      other.saved[row][0])
+        np.testing.assert_array_equal(reference.saved[row][1],
+                                      other.saved[row][1])
+    taps_a = getattr(reference, "tap_H", None)
+    taps_b = getattr(other, "tap_H", None)
+    assert (taps_a is None) == (taps_b is None)
+    if taps_a is not None:
+        np.testing.assert_array_equal(taps_a, taps_b)
+        np.testing.assert_array_equal(reference.tap_E, other.tap_E)
+    state_a, state_b = reference.state_dict(), other.state_dict()
+    assert set(state_a) == set(state_b)
+    for key in state_a:
+        np.testing.assert_array_equal(state_a[key], state_b[key])

@@ -32,7 +32,7 @@ from repro.service import AlignmentService, JobSpec, JobState
 from repro.service.worker import core_budget
 from repro.storage.sra import SpecialLineStore
 
-from tests.conftest import SCHEMES, make_pair
+from tests.conftest import SCHEMES, assert_sweeps_identical, make_pair
 
 #: (local, start_gap, forced) — every boundary regime the stages use:
 #: Stage 1 (local), Stage 2/3 goal sweeps (global, forced/unforced, both
@@ -63,28 +63,9 @@ def _tiled(s0, s1, scheme, regime, geometry, executor=None, **kw):
                               band_rows=band, **kw)
 
 
-def _assert_identical(serial: RowSweeper, tiled: RowSweeper) -> None:
-    np.testing.assert_array_equal(serial.H, tiled.H)
-    np.testing.assert_array_equal(serial.E, tiled.E)
-    np.testing.assert_array_equal(serial.F, tiled.F)
-    assert serial.best == tiled.best
-    assert serial.best_pos == tiled.best_pos
-    assert serial.watch_hit == tiled.watch_hit
-    assert serial.cells == tiled.cells
-    assert sorted(serial.saved) == sorted(tiled.saved)
-    for row in serial.saved:
-        np.testing.assert_array_equal(serial.saved[row][0], tiled.saved[row][0])
-        np.testing.assert_array_equal(serial.saved[row][1], tiled.saved[row][1])
-    taps_a = getattr(serial, "tap_H", None)
-    taps_b = getattr(tiled, "tap_H", None)
-    assert (taps_a is None) == (taps_b is None)
-    if taps_a is not None:
-        np.testing.assert_array_equal(taps_a, taps_b)
-        np.testing.assert_array_equal(serial.tap_E, tiled.tap_E)
-    state_a, state_b = serial.state_dict(), tiled.state_dict()
-    assert set(state_a) == set(state_b)
-    for key in state_a:
-        np.testing.assert_array_equal(state_a[key], state_b[key])
+# The shared conformance assertion (tests/conftest.py) — kept under its
+# historical local name so the matrix of callers below stays readable.
+_assert_identical = assert_sweeps_identical
 
 
 class TestTileGridEquivalence:
