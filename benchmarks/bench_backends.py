@@ -3,7 +3,10 @@
 The paper's whole claim is kernel throughput in linear space, so the
 repo keeps an honest ledger of it: this script sweeps every registered
 kernel backend (:mod:`repro.align.kernels`) over Stage-1-shaped local
-sweeps and writes ``BENCH_backends.json``.
+sweeps and writes ``BENCH_backends.json``.  Workloads come in two
+shapes: ``MxN`` is one pair (per-backend MCUPS), ``KxMxN`` is K
+independent small pairs (pairs/sec + aggregate MCUPS — the workload the
+``batched`` backend's fused dispatch exists for).
 
 Two destinations, one schema:
 
@@ -37,6 +40,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import importlib
 import json
 import os
 import platform
@@ -55,22 +59,25 @@ from repro.errors import ConfigError
 from repro.parallel import WavefrontExecutor
 from repro.sequences.synth import random_dna
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 OUT_PATH = BENCH_DIR / "out" / "BENCH_backends.json"
 TRAJECTORY_PATH = BENCH_DIR / "trajectory" / "BENCH_backends.json"
 
-DEFAULT_WORKLOADS = ("512x512", "1024x1024", "2048x2048")
-QUICK_WORKLOADS = ("256x256",)
+DEFAULT_WORKLOADS = ("512x512", "1024x1024", "2048x2048", "64x256x256")
+QUICK_WORKLOADS = ("256x256", "8x64x64")
 
 
-def _parse_workload(spec: str) -> tuple[int, int]:
+def _parse_workload(spec: str) -> tuple[int, ...]:
+    """``MxN`` -> ``(m, n)`` (one pair); ``KxMxN`` -> ``(k, m, n)``
+    (K independent pairs — the many-small-alignments workload)."""
     try:
-        m, n = (int(part) for part in spec.lower().split("x"))
+        dims = tuple(int(part) for part in spec.lower().split("x"))
     except ValueError:
-        raise ConfigError(f"workload must look like 2048x2048, got {spec!r}")
-    if m < 1 or n < 1:
-        raise ConfigError(f"workload sides must be positive, got {spec!r}")
-    return m, n
+        dims = ()
+    if len(dims) not in (2, 3) or any(d < 1 for d in dims):
+        raise ConfigError(
+            f"workload must look like 2048x2048 or 64x256x256, got {spec!r}")
+    return dims
 
 
 def _sweep_once(backend, codes0, codes1, scheme, executor=None):
@@ -86,14 +93,99 @@ def _sweep_once(backend, codes0, codes1, scheme, executor=None):
     return seconds, result
 
 
+def _pairs(k: int, m: int, n: int, seed: int) -> list[tuple]:
+    rng = np.random.default_rng(seed)
+    return [(random_dna(m, rng, f"A{i}").codes,
+             random_dna(n, rng, f"B{i}").codes) for i in range(k)]
+
+
+def _lane_result(sweep) -> tuple:
+    return int(sweep.best), sweep.best_pos, sweep.H.copy()
+
+
+def measure_pairs_workload(spec: str, backends: list[str], scheme, *,
+                           repeats: int, seed: int = 0) -> dict:
+    """Time every *serial* backend on K independent small pairs.
+
+    This is the workload batching exists for: construction cost and
+    per-dispatch overhead dominate small matrices, so the timer wraps
+    the whole loop — build sweepers, run them — not just the sweep.
+    Plain serial backends run the K pairs one after another;
+    batch-capable backends (``KernelBackend.batch``) build K lanes and
+    hand them to their module's ``sweep_batched`` in one fused dispatch.
+    Before any timing is reported, every backend's per-pair
+    ``best``/``best_pos``/final ``H`` row is checked bit-identical to an
+    untimed rowscan pass.  Non-serial backends are skipped (a process
+    pool per 256x256 pair would measure the pool, not the kernel).
+    """
+    k, m, n = _parse_workload(spec)
+    pairs = _pairs(k, m, n, seed)
+    reference = []
+    rowscan = get_backend("rowscan")
+    for codes0, codes1 in pairs:
+        sweep = rowscan.make(codes0, codes1, scheme,
+                             local=True, track_best=True)
+        sweep.run()
+        reference.append(_lane_result(sweep))
+    entry: dict = {
+        "kind": "pairs",
+        "pairs": k,
+        "cells": k * m * n,
+        "best_score": sum(r[0] for r in reference),
+        "backends": {},
+    }
+    for name in backends:
+        backend = get_backend(name)
+        if not backend.serial:
+            continue
+        if backend.batch:
+            sweep_batched = importlib.import_module(
+                backend.factory.__module__).sweep_batched
+        best = None
+        for repeat in range(max(1, repeats)):
+            start = time.perf_counter()
+            lanes = [backend.make(codes0, codes1, scheme,
+                                  local=True, track_best=True)
+                     for codes0, codes1 in pairs]
+            if backend.batch:
+                sweep_batched(lanes)
+            else:
+                for lane in lanes:
+                    lane.run()
+            seconds = time.perf_counter() - start
+            best = seconds if best is None else min(best, seconds)
+            if repeat == 0:
+                for i, lane in enumerate(lanes):
+                    got = _lane_result(lane)
+                    assert got[0] == reference[i][0], (name, spec, i, "score")
+                    assert got[1] == reference[i][1], (name, spec, i, "pos")
+                    np.testing.assert_array_equal(
+                        got[2], reference[i][2],
+                        err_msg=f"{name} {spec} pair {i} H row")
+        entry["backends"][name] = {
+            "seconds": best,
+            "pairs_per_sec": k / best,
+            "mcups": (k * m * n) / best / 1e6,
+        }
+    base = entry["backends"].get("rowscan")
+    for stats in entry["backends"].values():
+        stats["speedup_vs_rowscan"] = (
+            base["seconds"] / stats["seconds"] if base else None)
+    return entry
+
+
 def measure_workload(spec: str, backends: list[str], scheme, *,
                      workers: int, repeats: int, seed: int = 0) -> dict:
     """Time every backend on one workload; returns its ledger entry."""
-    m, n = _parse_workload(spec)
+    dims = _parse_workload(spec)
+    if len(dims) == 3:
+        return measure_pairs_workload(spec, backends, scheme,
+                                      repeats=repeats, seed=seed)
+    m, n = dims
     rng = np.random.default_rng(seed)
     codes0 = random_dna(m, rng, "A").codes
     codes1 = random_dna(n, rng, "B").codes
-    entry: dict = {"cells": m * n, "backends": {}}
+    entry: dict = {"kind": "single", "cells": m * n, "backends": {}}
     reference = None
     executor = None
     try:
@@ -176,17 +268,29 @@ def validate_ledger(ledger: dict) -> None:
     if not isinstance(workloads, dict) or not workloads:
         raise ValueError("ledger has no workloads")
     for spec, entry in workloads.items():
-        _parse_workload(spec)
-        for key in ("cells", "best_score", "backends"):
+        dims = _parse_workload(spec)
+        pairs_kind = len(dims) == 3
+        required = ("cells", "best_score", "backends")
+        if pairs_kind:
+            required += ("pairs",)
+        for key in required:
             if key not in entry:
                 raise ValueError(f"workload {spec}: missing {key!r}")
+        expected_kind = "pairs" if pairs_kind else "single"
+        if entry.get("kind") != expected_kind:
+            raise ValueError(
+                f"workload {spec}: kind {entry.get('kind')!r}, "
+                f"expected {expected_kind!r}")
         if not entry["backends"]:
             raise ValueError(f"workload {spec}: no backends")
+        stat_keys = ("seconds", "mcups", "speedup_vs_rowscan")
+        if pairs_kind:
+            stat_keys += ("pairs_per_sec",)
         for name, stats in entry["backends"].items():
             if name not in known:
                 raise ValueError(
                     f"workload {spec} reports unregistered backend {name!r}")
-            for key in ("seconds", "mcups", "speedup_vs_rowscan"):
+            for key in stat_keys:
                 if not isinstance(stats.get(key), (int, float)):
                     raise ValueError(f"{spec}/{name}: bad {key!r}")
             if stats["seconds"] <= 0 or stats["mcups"] <= 0:
@@ -200,6 +304,15 @@ def render(ledger: dict) -> str:
     lines = [f"kernel backend MCUPS (cpu_count={ledger['cpu_count']}, "
              f"wavefront workers={ledger['wavefront_workers']})"]
     for spec, entry in ledger["workloads"].items():
+        if entry.get("kind") == "pairs":
+            lines.append(f"  {spec} ({entry['pairs']} pairs, "
+                         f"score sum {entry['best_score']}):")
+            for name, stats in sorted(entry["backends"].items()):
+                lines.append(
+                    f"    {name:<10} {stats['pairs_per_sec']:9.1f} pairs/s  "
+                    f"{stats['mcups']:8.1f} MCUPS  "
+                    f"({stats['speedup_vs_rowscan']:.2f}x rowscan)")
+            continue
         lines.append(f"  {spec} (score {entry['best_score']}):")
         for name, stats in sorted(entry["backends"].items()):
             lines.append(f"    {name:<10} {stats['mcups']:9.1f} MCUPS  "
@@ -213,7 +326,8 @@ def main(argv=None) -> int:
                         help="backend names to measure (default: every "
                              "registered backend)")
     parser.add_argument("--workloads", nargs="+", default=None,
-                        metavar="MxN", help="matrix sizes, e.g. 2048x2048")
+                        metavar="MxN", help="matrix sizes: 2048x2048 (one "
+                             "pair) or 64x256x256 (K small pairs)")
     parser.add_argument("--workers", type=int, default=2,
                         help="wavefront pool size")
     parser.add_argument("--repeats", type=int, default=3,

@@ -16,6 +16,11 @@ Built-in backends:
 * ``diagonal`` — NumPy anti-diagonal vectorization of the same
   recurrence (:class:`~repro.align.diagonal.DiagonalSweeper`), the
   GPU-shaped schedule on host arrays.
+* ``batched`` — rowscan with a leading batch axis
+  (:class:`~repro.align.batched.BatchedRowSweeper`): K independent
+  pairs per NumPy dispatch, the AnySeq/SaLoBa many-alignments-per-launch
+  schedule on host arrays.  Registered as the single-pair facade; the
+  multi-lane entry points are ``sweep_lanes``/``sweep_batched``.
 * ``wavefront`` — the tile-grid process-pool sweep
   (:class:`~repro.parallel.sweeper.ParallelRowSweeper`); not a serial
   kernel — it needs (or simulates) an executor.
@@ -102,6 +107,11 @@ class KernelBackend:
             through ``make_sweeper``'s executor routing instead.
         interior_taps: the backend supports ``tap_columns`` other than
             ``[n]`` (the wavefront grid only reads the final column).
+        batch: the backend's module exposes multi-lane fused sweeps
+            (``sweep_lanes``/``sweep_batched``) that advance many
+            independent sweepers per dispatch; consumers such as the
+            service micro-batcher select batch-capable kernels by this
+            flag rather than by name.
         description: one line for ``--help`` and the benchmark ledger.
     """
 
@@ -109,6 +119,7 @@ class KernelBackend:
     factory: Callable[..., RowSweeper]
     serial: bool = True
     interior_taps: bool = True
+    batch: bool = False
     description: str = ""
 
     def make(self, codes0: np.ndarray, codes1: np.ndarray,
@@ -129,6 +140,7 @@ _REGISTRY: dict[str, KernelBackend] = {}
 _BUILTIN_MODULES = {
     "rowscan": "repro.align.kernels",
     "diagonal": "repro.align.diagonal",
+    "batched": "repro.align.batched",
     "wavefront": "repro.parallel.sweeper",
 }
 

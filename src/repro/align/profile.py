@@ -1,0 +1,95 @@
+"""Query-profile substitution LUT, built once per (scheme, query).
+
+Every sweep kernel scores row ``i`` by gathering a per-base vector from
+a ``(5, n)`` lookup table over the column sequence — the classic *query
+profile* (one row per alphabet code, one column per query base).  The
+table depends only on the scoring scheme and the column codes, yet the
+pipeline constructs many sweepers over the same pair within one run:
+Stage 1 forward, Stage 2 reverse, Myers-Miller forward/reverse halves,
+and every kernel-backend comparison.  Rebuilding the profile per
+construction is pure waste, so this module memoizes it.
+
+The cache is a small LRU keyed on ``(scheme, codes.tobytes())`` —
+content-addressed, so a reversed sequence or a sub-slice hashes to its
+own entry while repeated constructions over the same bytes share one
+table.  Cached arrays are frozen (``writeable=False``): sharing is only
+sound because every kernel treats the profile as read-only.
+
+Very long queries are built directly instead of cached: hashing tens of
+megabytes per construction is cheap next to the sweep, but pinning
+several ``20 * n``-byte tables in an LRU is not.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.constants import SCORE_DTYPE
+from repro.sequences.sequence import N_CODE
+
+#: Entries kept in the LRU (each is ``5 * n * 4`` bytes).
+MAX_CACHE_ENTRIES = 16
+
+#: Queries longer than this bypass the cache entirely.
+MAX_CACHED_COLS = 1 << 20
+
+_CACHE: OrderedDict[tuple, np.ndarray] = OrderedDict()
+_LOCK = threading.Lock()
+_HITS = 0
+_MISSES = 0
+
+
+def build_profile(scheme, codes1: np.ndarray) -> np.ndarray:
+    """The ``(5, n)`` substitution LUT: row ``c`` scores base ``c``
+    against every column; the N row never matches (CUDAlign masking)."""
+    n = int(codes1.size)
+    lut = np.full((5, n), SCORE_DTYPE(scheme.mismatch), dtype=SCORE_DTYPE)
+    for code in range(4):
+        lut[code, codes1 == code] = SCORE_DTYPE(scheme.match)
+    lut[N_CODE, :] = SCORE_DTYPE(scheme.mismatch)
+    return lut
+
+
+def query_profile(scheme, codes1: np.ndarray) -> np.ndarray:
+    """A (possibly shared) read-only query profile for this scheme/query.
+
+    Callers must not write through the returned array; cached entries
+    are marked non-writeable to make violations loud.
+    """
+    global _HITS, _MISSES
+    if codes1.size > MAX_CACHED_COLS:
+        return build_profile(scheme, codes1)
+    key = (scheme, codes1.tobytes())
+    with _LOCK:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            _CACHE.move_to_end(key)
+            _HITS += 1
+            return cached
+    lut = build_profile(scheme, codes1)
+    lut.flags.writeable = False
+    with _LOCK:
+        _MISSES += 1
+        _CACHE[key] = lut
+        _CACHE.move_to_end(key)
+        while len(_CACHE) > MAX_CACHE_ENTRIES:
+            _CACHE.popitem(last=False)
+    return lut
+
+
+def profile_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters (tests and telemetry)."""
+    with _LOCK:
+        return {"hits": _HITS, "misses": _MISSES, "entries": len(_CACHE)}
+
+
+def clear_profile_cache() -> None:
+    """Drop every cached profile and reset the counters (tests)."""
+    global _HITS, _MISSES
+    with _LOCK:
+        _CACHE.clear()
+        _HITS = 0
+        _MISSES = 0

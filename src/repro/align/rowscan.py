@@ -37,8 +37,8 @@ import numpy as np
 
 from repro.constants import NEG_INF, SCORE_DTYPE, TYPE_GAP_S0, TYPE_GAP_S1, TYPE_MATCH
 from repro.errors import ConfigError
+from repro.align.profile import query_profile
 from repro.align.scoring import ScoringScheme
-from repro.sequences.sequence import N_CODE
 
 
 class RowSweeper:
@@ -157,17 +157,17 @@ class RowSweeper:
         self._save_rows = set(save.tolist())
         self.saved: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
-        # Per-row scratch buffers, allocated once.
+        # Per-row scratch buffers, allocated once.  _advance reuses X and
+        # T for the F update too, so the hot loop allocates nothing.
         self._X = np.empty(n + 1, dtype=SCORE_DTYPE)
         self._T = np.empty(n + 1, dtype=SCORE_DTYPE)
+        self._egap = SCORE_DTYPE(gfirst) + self._ext_ramp[:-1]
 
         # Substitution scores as a per-base lookup: row i uses the vector
         # for codes0[i], so each row costs one fancy-index, not a compare.
-        sub_lut = np.full((5, n), SCORE_DTYPE(scheme.mismatch), dtype=SCORE_DTYPE)
-        for code in range(4):
-            sub_lut[code, self.codes1 == code] = SCORE_DTYPE(scheme.match)
-        sub_lut[N_CODE, :] = SCORE_DTYPE(scheme.mismatch)  # N never matches
-        self._sub_lut = sub_lut
+        # Shared across sweepers over the same (scheme, columns) — see
+        # repro.align.profile — and therefore read-only.
+        self._sub_lut = query_profile(scheme, self.codes1)
 
     # ------------------------------------------------------------------
     @property
@@ -199,15 +199,20 @@ class RowSweeper:
         gfirst = SCORE_DTYPE(scheme.gap_first)
         H, E, F = self.H, self.E, self.F
         ext_ramp = self._ext_ramp
+        egap = self._egap
+        X, T = self._X, self._T
         local = self.local
         stop = self.i + nrows
         while self.i < stop:
             i = self.i + 1
             sub = self._sub_lut[self.codes0[i - 1]]
             # F (vertical) update — purely element-wise, includes column 0.
-            np.maximum(F - gext, H - gfirst, out=F)
+            # X/T are free at this point, so the update runs entirely in
+            # the preallocated scratch (no per-row temporaries).
+            np.subtract(F, gext, out=X)
+            np.subtract(H, gfirst, out=T)
+            np.maximum(X, T, out=F)
             # X: every non-E source of H.
-            X = self._X
             np.add(H[:-1], sub, out=X[1:])
             np.maximum(X[1:], F[1:], out=X[1:])
             if local:
@@ -217,11 +222,9 @@ class RowSweeper:
             else:
                 X[0] = F[0]
             # E via the prefix-max scan.
-            T = self._T
             np.add(X, ext_ramp, out=T)
             np.maximum.accumulate(T, out=T)
-            E[1:] = T[:-1]
-            E[1:] -= gfirst + ext_ramp[:-1]
+            np.subtract(T[:-1], egap, out=E[1:])
             E[0] = NEG_INF
             np.maximum(X, E, out=H)
             self.i = i

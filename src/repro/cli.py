@@ -75,6 +75,28 @@ def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
                             "(default: twice the low-water mark)")
 
 
+def _add_batching_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("micro-batching")
+    group.add_argument("--batch-max-jobs", type=int, default=16,
+                       help="most queued small jobs coalesced into one "
+                            "fused worker dispatch (default: 16; "
+                            "0 disables coalescing)")
+    group.add_argument("--batch-max-cells", type=int, default=1 << 18,
+                       help="a job joins a coalesced dispatch only when its "
+                            "DP matrix is at or under this many cells "
+                            "(default: 262144)")
+
+
+def _batching(args: argparse.Namespace):
+    """Build the BatchConfig shared by ``batch`` and ``serve``."""
+    from repro.service import BatchConfig
+
+    if args.batch_max_jobs == 0:
+        return BatchConfig(enabled=False)
+    return BatchConfig(max_jobs=args.batch_max_jobs,
+                       max_cells=args.batch_max_cells)
+
+
 def cmd_align(args: argparse.Namespace) -> int:
     s0 = read_fasta(args.seq0)
     s1 = read_fasta(args.seq1)
@@ -230,7 +252,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
     sinks = (trace_sink,) if trace_sink is not None else ()
     service = AlignmentService(args.root, workers=args.workers,
                                resume=args.resume, sinks=sinks,
-                               supervisor=_supervisor(args))
+                               supervisor=_supervisor(args),
+                               batching=_batching(args))
     try:
         if args.specs is not None:
             service.submit_many(load_specs(args.specs))
@@ -345,7 +368,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     sinks = (trace_sink,) if trace_sink is not None else ()
     dispatcher = ServiceDispatcher(args.root, workers=args.workers,
                                    resume=args.resume, sinks=sinks,
-                                   supervisor=_supervisor(args))
+                                   supervisor=_supervisor(args),
+                                   batching=_batching(args))
     policy = GatewayPolicy(
         max_active_per_tenant=args.tenant_max_active,
         rate_per_tenant=args.tenant_rate,
@@ -510,6 +534,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--trace", default=None, metavar="FILE",
                          help="write a JSON-lines service trace here")
     _add_supervision_args(p_batch)
+    _add_batching_args(p_batch)
     p_batch.set_defaults(func=cmd_batch)
 
     p_jobs = sub.add_parser(
@@ -555,6 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--trace", default=None, metavar="FILE",
                          help="write a JSON-lines service trace here")
     _add_supervision_args(p_serve)
+    _add_batching_args(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
     p_fsck = sub.add_parser(

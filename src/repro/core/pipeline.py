@@ -153,16 +153,22 @@ class CUDAlign:
             lifecycle.
         manifest_extra: JSON-safe payload recorded under the manifest's
             ``extra`` key (the job service stamps job id/attempt here).
+        stage1_sweeper: pre-built Stage-1 sweeper injected into
+            :func:`~repro.core.stage1.run_stage1` (the worker pool's
+            micro-batcher presweeps many jobs' lanes in one fused batch
+            and hands each pipeline its finished lane); ``None`` builds
+            one normally.  Single use: consumed by the next ``run()``.
     """
 
     def __init__(self, config: PipelineConfig | None = None,
                  workdir: str | os.PathLike | None = None,
                  progress=None, *, observer=None, sinks: tuple = (),
-                 manifest_extra: dict | None = None):
+                 manifest_extra: dict | None = None, stage1_sweeper=None):
         self.config = config or PipelineConfig()
         self.workdir = workdir
         self.progress = progress
         self.manifest_extra = manifest_extra
+        self.stage1_sweeper = stage1_sweeper
         self.sinks = tuple(sinks)
         observers = []
         if observer is not None:
@@ -252,10 +258,12 @@ class CUDAlign:
                 sra.bytes_read + sca.bytes_read)
 
         tel.stage_start("stage1")
+        sweeper, self.stage1_sweeper = self.stage1_sweeper, None
         stage1 = run_stage1(s0, s1, config, sra,
                             checkpoint_path=checkpoint,
                             checkpoint_every_rows=config.checkpoint_every_rows,
-                            telemetry=tel, executor=executor)
+                            telemetry=tel, executor=executor,
+                            sweeper=sweeper)
         tel.stage_end("stage1", stage1)
         if stage1.best_score <= 0:
             # Nothing aligns: the empty alignment is optimal (score 0).

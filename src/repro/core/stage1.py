@@ -20,10 +20,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import ClassVar
+from typing import Any, ClassVar
 
 from repro.constants import TYPE_MATCH
-from repro.errors import IntegrityError
+from repro.errors import ConfigError, IntegrityError
 from repro.integrity.codec import KIND_CHECKPOINT
 from repro.core.checkpoint import (clear_checkpoint, load_checkpoint,
                                    quarantine_checkpoint, save_checkpoint)
@@ -66,17 +66,44 @@ class Stage1Result(StageResult):
         return self.cells / self.modeled_seconds / 1e6
 
 
+def stage1_sweep_plan(m: int, n: int, config: PipelineConfig,
+                      capacity_bytes: int | None = None
+                      ) -> tuple[Any, tuple[int, ...]]:
+    """The ``(grid, special_rows)`` Stage 1 will use for this input.
+
+    Callers building a Stage-1 sweeper *outside* :func:`run_stage1` (the
+    worker pool's fused group presweep) need the exact save-row set the
+    stage would request, or the pre-swept lanes would miss SRA flushes.
+    ``capacity_bytes`` defaults to ``config.sra_bytes`` — the capacity
+    the pipeline gives its :class:`SpecialLineStore`.
+    """
+    grid = config.grid1.shrink_to(n, config.device)
+    if capacity_bytes is None:
+        capacity_bytes = config.sra_bytes
+    rows = special_row_positions(m, n, grid.block_rows, capacity_bytes)
+    return grid, tuple(rows)
+
+
 def run_stage1(s0: Sequence, s1: Sequence, config: PipelineConfig,
                sra: SpecialLineStore, *,
                checkpoint_path: str | None = None,
                checkpoint_every_rows: int | None = None,
-               progress=None, telemetry=None, executor=None) -> Stage1Result:
+               progress=None, telemetry=None, executor=None,
+               sweeper=None) -> Stage1Result:
     """Sweep the full matrix, track the best cell, flush special rows.
 
     With a :class:`~repro.parallel.WavefrontExecutor` attached the sweep
     runs as a tile grid on the worker pool — bit-identical, including
     the flush and checkpoint cadence, because the band loop below drives
     either kernel through the same ``advance`` windows.
+
+    ``sweeper`` injects a pre-built (possibly already advanced, even
+    completed) sweeper instead of constructing one — the worker pool's
+    micro-batcher presweeps many small jobs' Stage 1 lanes in one fused
+    batch and hands each job its finished lane.  The injected sweeper
+    must cover this exact input and have been built with the save rows
+    from :func:`stage1_sweep_plan`; its saved rows are flushed to the
+    SRA here exactly as a fresh sweep's would be.
     """
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     m, n = len(s0), len(s1)
@@ -86,13 +113,20 @@ def run_stage1(s0: Sequence, s1: Sequence, config: PipelineConfig,
 
     start = time.perf_counter()
     with tel.span("stage1", m=m, n=n, special_rows=len(rows)) as span:
-        sweep = make_sweeper(s0.codes, s1.codes, config.scheme,
-                             kernel=config.kernel,
-                             executor=executor, metrics=tel.metrics,
-                             local=True, track_best=True, save_rows=rows,
-                             tracer=tel.tracer)
+        if sweeper is not None:
+            if (sweeper.m, sweeper.n) != (m, n):
+                raise ConfigError(
+                    f"injected stage1 sweeper covers "
+                    f"{sweeper.m}x{sweeper.n}, input is {m}x{n}")
+            sweep = sweeper
+        else:
+            sweep = make_sweeper(s0.codes, s1.codes, config.scheme,
+                                 kernel=config.kernel,
+                                 executor=executor, metrics=tel.metrics,
+                                 local=True, track_best=True, save_rows=rows,
+                                 tracer=tel.tracer)
         resumed_from = 0
-        if checkpoint_path is not None:
+        if checkpoint_path is not None and sweeper is None:
             try:
                 state = load_checkpoint(checkpoint_path, m, n)
             except IntegrityError as exc:
@@ -110,9 +144,11 @@ def run_stage1(s0: Sequence, s1: Sequence, config: PipelineConfig,
         rows_since_checkpoint = 0
         # Bands of one block row each: the numeric result is identical, but
         # the loop boundary is where the simulated horizontal bus hands rows
-        # down — and where flushes and checkpoints happen.
-        while not sweep.done:
-            done = sweep.advance(grid.block_rows)
+        # down — and where flushes and checkpoints happen.  Entered even
+        # when an injected sweeper arrives already done: its saved rows
+        # still have to drain to the SRA.
+        while True:
+            done = sweep.advance(grid.block_rows) if not sweep.done else 0
             for r in sorted(sweep.saved):
                 if sra.has(ROWS_NS, r):
                     sweep.saved.pop(r)
@@ -132,6 +168,8 @@ def run_stage1(s0: Sequence, s1: Sequence, config: PipelineConfig,
             tel.stage_progress("stage1", fraction)
             if progress is not None:
                 progress("stage1", fraction)
+            if sweep.done:
+                break
         if checkpoint_path is not None:
             clear_checkpoint(checkpoint_path)
         wall = time.perf_counter() - start

@@ -24,7 +24,7 @@ from repro.service.cache import ResultCache, cache_key, config_fingerprint
 from repro.service.job import JobRecord, JobSpec, JobState
 from repro.service.queue import (JOURNAL_NAME, JobQueue, JournalReplay,
                                  replay_journal)
-from repro.service.service import AlignmentService
+from repro.service.service import AlignmentService, BatchConfig
 from repro.service.specfile import load_specs, spec_from_payload
 from repro.service.supervision import (DiskGuard, RetryBackoff,
                                        SupervisorConfig, read_diagnostics,
@@ -35,15 +35,16 @@ from repro.service.worker import (
     InjectedFailure,
     WorkerPool,
     execute_job,
+    prepare_group,
 )
 
 __all__ = [
-    "AlignmentService",
+    "AlignmentService", "BatchConfig",
     "JobSpec", "JobRecord", "JobState",
     "JobQueue", "replay_journal", "JournalReplay", "JOURNAL_NAME",
     "ResultCache", "cache_key", "config_fingerprint",
-    "WorkerPool", "execute_job", "FailureInjector", "HangInjector",
-    "InjectedFailure",
+    "WorkerPool", "execute_job", "prepare_group", "FailureInjector",
+    "HangInjector", "InjectedFailure",
     "SupervisorConfig", "RetryBackoff", "DiskGuard", "rss_bytes",
     "write_diagnostics", "read_diagnostics",
     "load_specs", "spec_from_payload",

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import os
 import time
+from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.errors import ConfigError, StorageError
@@ -41,6 +42,42 @@ from repro.telemetry.manifest import (MANIFEST_VERSION, json_safe,
 from repro.telemetry.observer import as_observer
 from repro.telemetry.runtime import Telemetry
 from repro.telemetry.sinks import InMemorySink
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Micro-batcher policy: when queued small jobs coalesce.
+
+    Small matrices pay more for process dispatch and per-row NumPy
+    overhead than for the arithmetic itself — the cost a GPU amortizes
+    by fusing many alignments per launch.  The service mirrors that
+    host-side: pending jobs at or under ``max_cells`` DP cells are held
+    back within a dispatch round and sent as *one* worker process whose
+    Stage-1 sweeps run fused through the batched kernel
+    (:func:`repro.align.batched.sweep_batched`).
+
+    A job qualifies only when the fused sweep is exactly equivalent to
+    its solo run: serial executor, no per-spec deadline/stall/RSS
+    envelope, no chaos injections, and a first attempt (retries resume
+    from their checkpoint, so they run solo).  Disqualified jobs
+    dispatch normally and are counted under
+    ``kernel.batch.fallback.<reason>``.
+
+    Attributes:
+        enabled: master switch (``False`` restores per-job dispatch).
+        max_jobs: most members per coalesced dispatch.
+        max_cells: a job qualifies when ``m * n`` is at or under this.
+    """
+
+    enabled: bool = True
+    max_jobs: int = 16
+    max_cells: int = 1 << 18
+
+    def __post_init__(self) -> None:
+        if self.max_jobs < 2:
+            raise ConfigError("batch max_jobs must be at least 2")
+        if self.max_cells < 1:
+            raise ConfigError("batch max_cells must be positive")
 
 
 class AlignmentService:
@@ -67,12 +104,16 @@ class AlignmentService:
             stall/RSS guards for the pool, crash-loop quarantine
             threshold, retry backoff and the disk-free watchdog.
             Defaults to backoff-only supervision.
+        batching: micro-batcher policy (:class:`BatchConfig`) — when
+            queued small jobs coalesce into one fused group dispatch.
+            Defaults to coalescing up to 16 jobs of <= 2^18 cells.
     """
 
     def __init__(self, root: str | os.PathLike, *, workers: int = 1,
                  resume: bool = False, observer=None, sinks: tuple = (),
                  poll_seconds: float = 0.02, cpu_count: int | None = None,
-                 supervisor: SupervisorConfig | None = None):
+                 supervisor: SupervisorConfig | None = None,
+                 batching: BatchConfig | None = None):
         self.root = os.fspath(root)
         os.makedirs(self.root, exist_ok=True)
         # Telemetry first: queue recovery and the cache report corruption
@@ -100,7 +141,9 @@ class AlignmentService:
         self.cpu_count = cpu_count if cpu_count is not None else (
             os.cpu_count() or 1)
         self.poll_seconds = poll_seconds
+        self.batching = batching if batching is not None else BatchConfig()
         self._inflight_keys: dict[str, str] = {}   # cache key -> job_id
+        self._cells: dict[str, int] = {}           # job_id -> m * n
         self._attempt_log: dict[str, list[dict[str, Any]]] = {}
         self._disk_evicted = False
 
@@ -172,9 +215,20 @@ class AlignmentService:
         if record.done:
             return False
         if record.state == JobState.RUNNING:
-            self.pool.cancel(job_id)
+            displaced = self.pool.cancel(job_id)
             if record.cache_key is not None:
                 self._inflight_keys.pop(record.cache_key, None)
+            for sibling in displaced:
+                # Grouped siblings die with the cancelled job's process;
+                # they were collateral, so requeue them without charging
+                # any ledger (crash=False keeps quarantine honest).
+                if sibling.cache_key is not None:
+                    self._inflight_keys.pop(sibling.cache_key, None)
+                self.queue.mark_interrupted(
+                    sibling, "displaced: a grouped sibling was cancelled",
+                    crash=False)
+                self.telemetry.metrics.counter(
+                    "kernel.batch.displaced").add(1)
         self.queue.mark_cancelled(record)
         self.telemetry.metrics.counter("service.jobs_cancelled").add(1)
         self._gauges()
@@ -213,19 +267,31 @@ class AlignmentService:
 
     def _dispatch_round(self) -> int:
         """Fill free worker slots; serve cache hits. Returns jobs finished
-        instantly (cached)."""
+        instantly (cached).
+
+        With batching enabled, qualified small jobs are held back while
+        the round scans the queue and then dispatched as one coalesced
+        group attempt (``kernel.batch.*`` telemetry).  A qualified job
+        that finds no partner this round dispatches solo
+        (``kernel.batch.fallback.alone``); a held batch that finds no
+        free slot stays pending for the next round — holding back never
+        changes queue state.
+        """
         if not self._disk_ok():
             return 0
         finished = 0
         skip: set[str] = set()
+        batch: list[tuple[JobRecord, str]] = []
+        batch_keys: set[str] = set()
         while self.pool.free_slots > 0:
             record = self.queue.next_pending(skip)
             if record is None:
                 break
             key = self._key_for(record)
-            if key in self._inflight_keys:
-                # An identical job is running right now: hold this one
-                # back and serve it from the cache when the twin lands.
+            if key in self._inflight_keys or key in batch_keys:
+                # An identical job is running (or held for this round's
+                # batch): hold this one back and serve it from the cache
+                # when the twin lands.
                 skip.add(record.job_id)
                 continue
             hit = self.cache.get(key)
@@ -237,16 +303,88 @@ class AlignmentService:
                 self.telemetry.metrics.counter("service.jobs_cached").add(1)
                 finished += 1
                 continue
+            if self.batching.enabled:
+                reason = self._batch_disqualifier(record)
+                if reason is None:
+                    batch.append((record, key))
+                    batch_keys.add(key)
+                    skip.add(record.job_id)
+                    if len(batch) >= self.batching.max_jobs:
+                        self._dispatch_group(batch)
+                        batch, batch_keys = [], set()
+                    continue
+                self.telemetry.metrics.counter(
+                    f"kernel.batch.fallback.{reason}").add(1)
+            self._dispatch_one(record, key)
+        if batch and self.pool.free_slots > 0:
+            if len(batch) >= 2:
+                self._dispatch_group(batch)
+            else:
+                self.telemetry.metrics.counter(
+                    "kernel.batch.fallback.alone").add(1)
+                self._dispatch_one(*batch[0])
+        return finished
+
+    def _dispatch_one(self, record: JobRecord, key: str) -> None:
+        """Start one solo attempt (the classic one-process-per-job path)."""
+        self.queue.mark_running(record)
+        self._inflight_keys[key] = record.job_id
+        budget = core_budget(self.cpu_count, self.pool.workers)
+        if record.spec.workers > budget:
+            self.telemetry.metrics.counter("service.cores_clamped").add(1)
+        self.pool.dispatch(record, self.job_workdir(record.job_id),
+                           core_budget=budget)
+        self._gauges()
+
+    def _dispatch_group(self, batch: list[tuple[JobRecord, str]]) -> None:
+        """Dispatch held-back small jobs as one coalesced group attempt."""
+        now = time.time()
+        metrics = self.telemetry.metrics
+        records = []
+        for record, key in batch:
             self.queue.mark_running(record)
             self._inflight_keys[key] = record.job_id
-            budget = core_budget(self.cpu_count, self.pool.workers)
-            if record.spec.workers > budget:
-                self.telemetry.metrics.counter(
-                    "service.cores_clamped").add(1)
-            self.pool.dispatch(record, self.job_workdir(record.job_id),
-                               core_budget=budget)
-            self._gauges()
-        return finished
+            records.append(record)
+            metrics.histogram("kernel.batch.coalesce_seconds").observe(
+                max(0.0, now - record.submitted_unix))
+        metrics.counter("kernel.batch.dispatches").add(1)
+        metrics.counter("kernel.batch.jobs").add(len(records))
+        metrics.histogram("kernel.batch.size").observe(len(records))
+        self.pool.dispatch_group(
+            records, [self.job_workdir(r.job_id) for r in records],
+            core_budget=core_budget(self.cpu_count, self.pool.workers))
+        self._gauges()
+
+    def _batch_disqualifier(self, record: JobRecord) -> str | None:
+        """Why this job cannot join a coalesced group (``None`` = it can).
+
+        The gate is conservative: a grouped job must behave exactly like
+        its solo run.  Per-spec supervision envelopes can't be enforced
+        per member of one process; chaos injections arm per attempt and
+        must stay solo; retries resume Stage 1 from their on-disk
+        checkpoint, which the fused presweep would ignore.
+        """
+        spec = record.spec
+        if spec.executor != "serial":
+            return "executor"
+        if (spec.deadline_seconds is not None
+                or spec.stall_seconds is not None
+                or spec.max_rss_bytes is not None):
+            return "envelope"
+        if (spec.inject_failure_row is not None
+                or spec.inject_hang_row is not None
+                or spec.inject_crash_attempts):
+            return "chaos"
+        if record.attempts > 0:
+            return "retry"
+        cells = self._cells.get(record.job_id)
+        if cells is None:
+            s0, s1 = spec.load_sequences()
+            cells = len(s0) * len(s1)
+            self._cells[record.job_id] = cells
+        if cells > self.batching.max_cells:
+            return "large"
+        return None
 
     def _settle(self, outcome) -> int:
         """Fold one finished attempt into queue/cache/metrics.  Returns 1
@@ -264,6 +402,13 @@ class AlignmentService:
         record = outcome.record
         metrics = self.telemetry.metrics
         self._inflight_keys.pop(record.cache_key, None)
+        if outcome.batch_stats:
+            # The group's fused-presweep report rides on its first
+            # outcome: honest padding accounting for the batch ledger.
+            metrics.histogram("kernel.batch.padding_waste").observe(
+                outcome.batch_stats.get("padding_waste", 0.0))
+            metrics.counter("kernel.batch.fused_lanes").add(
+                outcome.batch_stats.get("lanes", 0))
         kind = ("ok" if outcome.ok else
                 "timeout" if outcome.timed_out else
                 "stalled" if outcome.stalled else
@@ -370,6 +515,7 @@ class AlignmentService:
         if record.cache_key is None:
             spec = record.spec
             s0, s1 = spec.load_sequences()
+            self._cells[record.job_id] = len(s0) * len(s1)
             record.cache_key = cache_key(
                 sequence_digest(s0.codes.tobytes()),
                 sequence_digest(s1.codes.tobytes()),

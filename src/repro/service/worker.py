@@ -128,6 +128,32 @@ class HeartbeatSender(PipelineObserver):
         self._send(stage, 1.0)
 
 
+class _StagePrefix(PipelineObserver):
+    """Prefixes stage names before an inner observer sees them.
+
+    A group attempt runs several jobs through one heartbeat pipe; the
+    prefix (``job 2/5 ``) keeps the parent's last-heartbeat diagnostics
+    honest about *which* member was running, and guarantees the beat
+    tuple advances across same-shaped member pipelines.
+    """
+
+    def __init__(self, inner: PipelineObserver, prefix: str):
+        self.inner = inner
+        self.prefix = prefix
+
+    def on_stage_start(self, stage: str) -> None:
+        self.inner.on_stage_start(self.prefix + stage)
+
+    def on_stage_progress(self, stage: str, fraction: float) -> None:
+        self.inner.on_stage_progress(self.prefix + stage, fraction)
+
+    def on_stage_end(self, stage: str, result) -> None:
+        self.inner.on_stage_end(self.prefix + stage, result)
+
+    def on_metric(self, name: str, value) -> None:
+        self.inner.on_metric(name, value)
+
+
 class ObserverChain(PipelineObserver):
     """Fans each hook out to several observers, in order.
 
@@ -168,7 +194,8 @@ def core_budget(cpu_count: int, job_slots: int) -> int:
 
 def execute_job(spec: JobSpec, workdir: str, attempt: int,
                 core_budget: int | None = None,
-                observer: PipelineObserver | None = None) -> dict[str, Any]:
+                observer: PipelineObserver | None = None,
+                stage1_sweeper=None) -> dict[str, Any]:
     """Run one attempt of a job in-process; returns the result summary.
 
     This is the body every worker process runs, importable so tests and
@@ -180,6 +207,8 @@ def execute_job(spec: JobSpec, workdir: str, attempt: int,
     ``None`` means uncapped (inline callers).  ``observer`` is chained
     *after* the chaos injectors (worker children pass the heartbeat
     sender here, so an injected hang silences the heartbeat too).
+    ``stage1_sweeper`` hands the pipeline a pre-built (typically already
+    completed) Stage-1 sweeper — the micro-batcher's fused presweep.
     """
     s0, s1 = spec.load_sequences()
     config = spec.pipeline_config(n=len(s1))
@@ -204,6 +233,7 @@ def execute_job(spec: JobSpec, workdir: str, attempt: int,
             # and sweeps fresh — the peek must not burn the retry budget.
             resumes_from = None
     pipeline = CUDAlign(config, workdir=workdir, observer=observer,
+                        stage1_sweeper=stage1_sweeper,
                         manifest_extra={"job_id": spec.job_id,
                                         "attempt": attempt,
                                         "resumes_from_row": resumes_from})
@@ -227,6 +257,32 @@ def execute_job(spec: JobSpec, workdir: str, attempt: int,
     }
 
 
+def prepare_group(specs) -> tuple[dict[str, Any], dict[str, Any]]:
+    """Fused Stage-1 presweep for a coalesced group (child-process side).
+
+    Builds one batched Stage-1 lane per spec — with exactly the save
+    rows, tracking options and scheme Stage 1 itself would request (see
+    :func:`~repro.core.stage1.stage1_sweep_plan`) — and runs every lane
+    to completion through length-bucketed fused dispatches.  Returns
+    ``(sweepers, stats)``: ``sweepers`` maps job id to its finished
+    lane, ready for ``execute_job(..., stage1_sweeper=...)``; ``stats``
+    is :func:`~repro.align.batched.sweep_batched`'s honest batch report
+    (lanes, buckets, padding waste).
+    """
+    from repro.align.batched import BatchedRowSweeper, sweep_batched
+    from repro.core.stage1 import stage1_sweep_plan
+    sweepers: dict[str, Any] = {}
+    for spec in specs:
+        s0, s1 = spec.load_sequences()
+        config = spec.pipeline_config(n=len(s1))
+        _, rows = stage1_sweep_plan(len(s0), len(s1), config)
+        sweepers[spec.job_id] = BatchedRowSweeper(
+            s0.codes, s1.codes, config.scheme,
+            local=True, track_best=True, save_rows=list(rows))
+    stats = sweep_batched(list(sweepers.values()))
+    return sweepers, stats
+
+
 def _job_main(conn, spec_json: dict[str, Any], workdir: str,
               attempt: int, core_budget: int | None = None) -> None:
     """Child-process entry point: heartbeats while running, one final
@@ -247,13 +303,65 @@ def _job_main(conn, spec_json: dict[str, Any], workdir: str,
         conn.close()
 
 
+def _group_main(conn, jobs: list[dict[str, Any]],
+                core_budget: int | None = None) -> None:
+    """Child entry for a coalesced group of jobs.
+
+    One fused Stage-1 presweep across every member, then each member's
+    pipeline in sequence.  Each job reports its own ``job_done`` message
+    the moment it lands — so if the process dies mid-group, only the
+    members that had not reported share the crash — followed by one
+    final group report.  A member's failure never takes its siblings
+    down; a failure of the group harness itself (the final ``ok: False``
+    report) is settled per unreported member by the parent.
+    """
+    try:
+        specs = [JobSpec.from_json(job["spec"]) for job in jobs]
+        heartbeat = HeartbeatSender(conn)
+        heartbeat.on_stage_start("batch:presweep")
+        sweepers, stats = prepare_group(specs)
+        heartbeat.on_stage_end("batch:presweep", None)
+        try:
+            conn.send({"batch_stats": stats})
+        except (BrokenPipeError, OSError):
+            pass
+        for index, (spec, job) in enumerate(zip(specs, jobs)):
+            prefix = f"job {index + 1}/{len(jobs)} "
+            try:
+                summary = execute_job(
+                    spec, job["workdir"], job["attempt"],
+                    core_budget=core_budget,
+                    observer=_StagePrefix(heartbeat, prefix),
+                    stage1_sweeper=sweepers[spec.job_id])
+                conn.send({"job_done": True, "job_id": spec.job_id,
+                           "ok": True, "summary": summary})
+            except BaseException as exc:
+                conn.send({"job_done": True, "job_id": spec.job_id,
+                           "ok": False,
+                           "error": f"{type(exc).__name__}: {exc}",
+                           "traceback": traceback.format_exc()})
+        conn.send({"ok": True, "group": True})
+    except BaseException as exc:
+        conn.send({"ok": False, "group": True,
+                   "error": f"{type(exc).__name__}: {exc}",
+                   "traceback": traceback.format_exc()})
+    finally:
+        conn.close()
+
+
 @dataclass
 class Attempt:
-    """One in-flight child process."""
+    """One in-flight child process (a single job, or a coalesced group)."""
 
     record: JobRecord
     process: Any
     conn: Any
+    #: For group attempts: every member record (``record`` is the first).
+    group: list[JobRecord] | None = None
+    #: Per-member final reports received so far (group attempts).
+    completed: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: The child's fused-presweep statistics, once reported.
+    batch_stats: dict[str, Any] | None = None
     started: float = field(default_factory=time.monotonic)
     # Supervision state, maintained by WorkerPool.poll():
     progress: tuple[str, float] | None = None   # last *advanced* heartbeat
@@ -300,7 +408,9 @@ class Finished:
     kill), ``stalled`` (heartbeat stopped advancing), ``memory_exceeded``
     (RSS ceiling kill) or ``crashed`` (died without reporting); a plain
     reported failure sets none of them.  ``progress`` is the attempt's
-    last advanced heartbeat (diagnostics).
+    last advanced heartbeat (diagnostics).  ``batch_stats`` rides on the
+    first outcome of a coalesced group: the child's fused-presweep
+    report (lanes, buckets, padding waste).
     """
 
     record: JobRecord
@@ -313,6 +423,7 @@ class Finished:
     memory_exceeded: bool = False
     traceback: str | None = None
     progress: tuple[str, float] | None = None
+    batch_stats: dict[str, Any] | None = None
 
 
 #: Seconds between /proc RSS probes per attempt (poll-side throttle).
@@ -366,6 +477,35 @@ class WorkerPool:
         self._running.append(Attempt(record=record, process=process,
                                      conn=parent_conn))
 
+    def dispatch_group(self, records: list[JobRecord], workdirs: list[str],
+                       core_budget: int | None = None) -> None:
+        """Start ONE child attempt running several jobs (micro-batching).
+
+        The group occupies a single worker slot — that is the point: K
+        queued small jobs cost one process dispatch, and their Stage-1
+        sweeps run fused inside the child (:func:`_group_main`).
+        Pool-wide supervision (stall, RSS, liveness) covers the whole
+        group; specs carrying their own envelope overrides should not be
+        grouped (the service's qualification gate enforces that).
+        """
+        if self.free_slots <= 0:
+            raise ConfigError("dispatch_group() with no free worker slot")
+        if not records or len(records) != len(workdirs):
+            raise ConfigError("dispatch_group() needs one workdir per record")
+        jobs = []
+        for record, workdir in zip(records, workdirs):
+            os.makedirs(workdir, exist_ok=True)
+            jobs.append({"spec": record.spec.to_json(), "workdir": workdir,
+                         "attempt": record.attempts})
+        parent_conn, child_conn = _CTX.Pipe(duplex=False)
+        process = _CTX.Process(
+            target=_group_main, args=(child_conn, jobs, core_budget),
+            name=f"repro-group-{records[0].job_id}-x{len(records)}")
+        process.start()
+        child_conn.close()
+        self._running.append(Attempt(record=records[0], process=process,
+                                     conn=parent_conn, group=list(records)))
+
     @staticmethod
     def _kill(attempt: Attempt) -> None:
         """Terminate with escalation: TERM, a grace join, then KILL."""
@@ -378,7 +518,9 @@ class WorkerPool:
     @staticmethod
     def _drain(attempt: Attempt) -> tuple[dict[str, Any] | None, bool]:
         """Consume pipe messages: heartbeats update the attempt's
-        supervision state; returns ``(final_message, pipe_broken)``."""
+        supervision state, per-member ``job_done`` reports and presweep
+        statistics accumulate on the attempt; returns
+        ``(final_message, pipe_broken)``."""
         while True:
             try:
                 if not attempt.conn.poll():
@@ -391,7 +533,67 @@ class WorkerPool:
             if message.get("hb"):
                 attempt.note_heartbeat(message["stage"], message["fraction"])
                 continue
+            if "batch_stats" in message:
+                attempt.batch_stats = message["batch_stats"]
+                continue
+            if message.get("job_done"):
+                attempt.completed[message["job_id"]] = message
+                # A member landing is progress for the whole group.
+                attempt.note_heartbeat(f"done:{message['job_id']}", 1.0)
+                continue
             return message, False
+
+    @staticmethod
+    def _reported(record: JobRecord, message: dict[str, Any],
+                  progress, batch_stats=None) -> Finished:
+        """A Finished built from the child's own report for one job."""
+        if message["ok"]:
+            return Finished(record, True, summary=message["summary"],
+                            progress=progress, batch_stats=batch_stats)
+        return Finished(record, False, error=message["error"],
+                        traceback=message.get("traceback"),
+                        progress=progress, batch_stats=batch_stats)
+
+    def _group_outcomes(self, attempt: Attempt,
+                        final: dict[str, Any] | None, *,
+                        error: str | None = None,
+                        **flags) -> list[Finished]:
+        """Per-member outcomes for a group attempt that just ended.
+
+        Members that reported their own ``job_done`` settle on that
+        report regardless of how the group ended; the rest share the
+        group's fate — the final error report, or the kill reason in
+        ``flags`` (crashed / timed_out / stalled / memory_exceeded).
+        The fused-presweep statistics ride on the first outcome.
+        """
+        traceback_text = None
+        if final is not None and not final.get("ok", False):
+            error = final.get("error")
+            traceback_text = final.get("traceback")
+        out: list[Finished] = []
+        for record in attempt.group:
+            stats = attempt.batch_stats if not out else None
+            message = attempt.completed.get(record.job_id)
+            if message is not None:
+                out.append(self._reported(record, message, attempt.progress,
+                                          batch_stats=stats))
+            else:
+                out.append(Finished(
+                    record, False,
+                    error=error or "group attempt ended before this job ran",
+                    traceback=traceback_text, progress=attempt.progress,
+                    batch_stats=stats, **flags))
+        return out
+
+    def _finish(self, attempt: Attempt, final: dict[str, Any] | None, *,
+                error: str | None = None, **flags) -> list[Finished]:
+        """Outcome list for one ended attempt (single job or group)."""
+        if attempt.group is not None:
+            return self._group_outcomes(attempt, final, error=error, **flags)
+        if final is not None:
+            return [self._reported(attempt.record, final, attempt.progress)]
+        return [Finished(attempt.record, False, error=error,
+                         progress=attempt.progress, **flags)]
 
     def poll(self) -> list[Finished]:
         """Harvest finished attempts; kill any past their supervision
@@ -404,30 +606,20 @@ class WorkerPool:
             if message is not None:
                 attempt.process.join()
                 attempt.conn.close()
-                if message["ok"]:
-                    done.append(Finished(attempt.record, True,
-                                         summary=message["summary"],
-                                         progress=attempt.progress))
-                else:
-                    done.append(Finished(attempt.record, False,
-                                         error=message["error"],
-                                         traceback=message.get("traceback"),
-                                         progress=attempt.progress))
+                done.extend(self._finish(attempt, message))
             elif broken or not attempt.process.is_alive():
                 # Died without reporting (e.g. SIGKILL, OOM, os._exit).
                 attempt.process.join()
                 attempt.conn.close()
-                done.append(Finished(
-                    attempt.record, False, crashed=True,
-                    progress=attempt.progress,
+                done.extend(self._finish(
+                    attempt, None, crashed=True,
                     error=f"worker died with exit code "
                           f"{attempt.process.exitcode}"))
             elif attempt.deadline_exceeded:
                 self._kill(attempt)
                 attempt.conn.close()
-                done.append(Finished(
-                    attempt.record, False, timed_out=True,
-                    progress=attempt.progress,
+                done.extend(self._finish(
+                    attempt, None, timed_out=True,
                     error=f"deadline of "
                           f"{attempt.record.spec.deadline_seconds}s exceeded"))
             elif attempt.stall_exceeded(self.stall_seconds):
@@ -435,18 +627,16 @@ class WorkerPool:
                 attempt.conn.close()
                 at = (f"{attempt.progress[0]} {attempt.progress[1]:.3f}"
                       if attempt.progress else "before first heartbeat")
-                done.append(Finished(
-                    attempt.record, False, stalled=True,
-                    progress=attempt.progress,
+                done.extend(self._finish(
+                    attempt, None, stalled=True,
                     error=f"stalled: no progress within "
                           f"{attempt.record.spec.stall_seconds or self.stall_seconds}s "
                           f"(last at {at})"))
             elif self._over_rss(attempt, now):
                 self._kill(attempt)
                 attempt.conn.close()
-                done.append(Finished(
-                    attempt.record, False, memory_exceeded=True,
-                    progress=attempt.progress,
+                done.extend(self._finish(
+                    attempt, None, memory_exceeded=True,
                     error=f"memory limit exceeded: rss {attempt.last_rss} "
                           f"> {attempt.rss_limit(self.max_rss_bytes)} bytes"))
             else:
@@ -466,24 +656,29 @@ class WorkerPool:
             attempt.last_rss = rss
         return rss is not None and rss > limit
 
-    def cancel(self, job_id: str) -> bool:
-        """Terminate the in-flight attempt of ``job_id``, if any.
+    def cancel(self, job_id: str) -> list[JobRecord]:
+        """Terminate the in-flight attempt carrying ``job_id``, if any.
 
         The attempt is removed from the pool without producing a
         :class:`Finished` outcome — cancellation is the caller's state
         transition, not a failed attempt — so it never charges the
-        retry budget.  Returns ``True`` when an attempt was killed.
+        retry budget.  When the job was riding a coalesced group, the
+        whole child dies with it; the *other* member records come back
+        as the displaced list so the caller can requeue them (they were
+        collateral, not failures).  An empty list means either a solo
+        attempt was killed or no attempt carried the job.
         """
         for index, attempt in enumerate(self._running):
-            if attempt.record.job_id != job_id:
+            members = attempt.group or [attempt.record]
+            if all(record.job_id != job_id for record in members):
                 continue
             if attempt.process.is_alive():
                 attempt.process.terminate()
             attempt.process.join()
             attempt.conn.close()
             del self._running[index]
-            return True
-        return False
+            return [record for record in members if record.job_id != job_id]
+        return []
 
     def shutdown(self) -> None:
         """Terminate every in-flight attempt (service teardown)."""

@@ -72,10 +72,14 @@ def _n_heavy_pair(rng, m, n, frac=0.3):
 
 class TestRegistry:
     def test_builtins_registered(self):
-        assert set(ALL_BACKENDS) >= {"rowscan", "diagonal", "wavefront"}
-        assert set(serial_kernel_names()) == {"rowscan", "diagonal"}
+        assert set(ALL_BACKENDS) >= {"rowscan", "diagonal", "batched",
+                                     "wavefront"}
+        assert set(serial_kernel_names()) == {"rowscan", "diagonal",
+                                              "batched"}
         assert not get_backend("wavefront").serial
         assert not get_backend("wavefront").interior_taps
+        assert get_backend("batched").batch
+        assert not get_backend("rowscan").batch
 
     def test_unknown_name_is_an_error(self):
         with pytest.raises(ConfigError, match="unknown kernel backend"):
